@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper artifact (table or figure) has one benchmark module that
+regenerates it through the same code paths the experiments use, wrapped in
+``pytest-benchmark`` so the regeneration cost is tracked over time.  Heavy
+system-level experiments run a reduced grid (a subset of workloads and
+conditions) so the full benchmark suite finishes in a few minutes; the
+experiment modules expose the full grid for offline runs.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.characterization.platform import VirtualTestPlatform
+from repro.core.rpt import ReadTimingParameterTable
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): benchmark regenerates the named paper figure")
+
+
+@pytest.fixture(scope="session")
+def bench_platform() -> VirtualTestPlatform:
+    """A small chip population shared by the characterization benchmarks."""
+    return VirtualTestPlatform(num_chips=6, blocks_per_chip=3,
+                               wordlines_per_block=1, seed=0)
+
+
+@pytest.fixture(scope="session")
+def bench_rpt() -> ReadTimingParameterTable:
+    """Build the RPT once so policy benchmarks do not re-profile."""
+    return ReadTimingParameterTable.default()
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run a heavy function exactly once under the benchmark harness."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              iterations=1, rounds=1, warmup_rounds=0)

@@ -1,0 +1,92 @@
+"""Benchmarks regenerating the characterization figures (4b, 5, 7, 8, 9, 10, 11).
+
+Each benchmark produces the same rows as the corresponding
+``repro.experiments`` module and asserts the headline property the paper
+reports, so the benchmark doubles as an end-to-end regression check of the
+characterization pipeline.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.characterization.margin import ecc_margin_sweep, rber_per_retry_step
+from repro.characterization.retry_profile import profile_retry_steps
+from repro.characterization.rpt_builder import build_rpt, minimum_safe_tpre_sweep
+from repro.characterization.timing_sweep import (
+    combined_parameter_sweep,
+    individual_parameter_sweep,
+    temperature_sweep,
+)
+
+
+@pytest.mark.figure("fig04b")
+def test_bench_fig04b_rber_per_retry_step(benchmark):
+    rows = run_once(benchmark, rber_per_retry_step)
+    assert len(rows) == 2
+    for row in rows:
+        # The final retry step collapses below the ECC capability.
+        assert row["final_step_errors"] <= row["ecc_capability"]
+        assert row["total_retry_steps"] >= 10
+
+
+@pytest.mark.figure("fig05")
+def test_bench_fig05_retry_profile(benchmark, bench_platform):
+    profiles = run_once(benchmark, profile_retry_steps, bench_platform)
+    worst = profiles[(2000, 12.0)]
+    fresh = profiles[(0, 0.0)]
+    assert fresh.max_steps == 0
+    assert 15.0 <= worst.mean_steps <= 26.0
+
+
+@pytest.mark.figure("fig07")
+def test_bench_fig07_ecc_margin(benchmark, bench_platform):
+    rows = run_once(benchmark, ecc_margin_sweep, bench_platform,
+                    temperatures_c=(85.0, 30.0))
+    worst = next(row for row in rows
+                 if row["temperature_c"] == 30.0 and row["pe_cycles"] == 2000
+                 and row["retention_months"] == 12.0)
+    # A large ECC-capability margin remains even at the worst condition.
+    assert worst["margin_fraction"] >= 0.3
+
+
+@pytest.mark.figure("fig08")
+def test_bench_fig08_individual_timing_sweep(benchmark, bench_platform):
+    sweeps = run_once(benchmark, individual_parameter_sweep, bench_platform)
+    eval_fresh = next(row for row in sweeps["eval"]
+                      if row["pe_cycles"] == 0 and row["retention_months"] == 0.0
+                      and row["reduction"] == pytest.approx(0.20))
+    assert eval_fresh["delta_m_err"] >= 20.0
+
+
+@pytest.mark.figure("fig09")
+def test_bench_fig09_combined_timing_sweep(benchmark, bench_platform):
+    rows = run_once(benchmark, combined_parameter_sweep, bench_platform,
+                    conditions=((1000, 0.0), (2000, 12.0)))
+    combined = next(row for row in rows
+                    if row["pe_cycles"] == 1000
+                    and row["pre_reduction"] == pytest.approx(0.54)
+                    and row["disch_reduction"] == pytest.approx(0.20))
+    assert combined["m_err"] > 72.0
+
+
+@pytest.mark.figure("fig10")
+def test_bench_fig10_temperature_sweep(benchmark, bench_platform):
+    rows = run_once(benchmark, temperature_sweep, bench_platform,
+                    pe_cycles=(2000,), retention_months=(12.0,))
+    assert max(row["extra_errors_vs_85c"] for row in rows) <= 8.0
+
+
+@pytest.mark.figure("fig11")
+def test_bench_fig11_minimum_safe_tpre(benchmark):
+    rows = run_once(benchmark, minimum_safe_tpre_sweep)
+    reductions = [row["max_pre_reduction_pct"] for row in rows]
+    assert min(reductions) >= 40.0
+    assert max(reductions) <= 60.0
+
+
+@pytest.mark.figure("fig13")
+def test_bench_rpt_build(benchmark):
+    """Offline RPT profiling cost (the Figure 13 table AR2 consumes)."""
+    rpt = run_once(benchmark, build_rpt)
+    assert rpt.storage_bytes() <= 1024

@@ -1,0 +1,38 @@
+"""Benchmark regenerating Figure 15 (PSO and PSO+PnAR2).
+
+Checks the complementarity claim of Section 7.3: adding PR2+AR2 on top of the
+PSO retry-count-reduction technique further reduces the response time, and a
+gap to the ideal NoRR remains.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+
+from repro.experiments import fig15
+
+WORKLOADS = ("usr_1", "YCSB-C")
+CONDITIONS = ((1000, 6.0), (2000, 12.0))
+
+
+@pytest.mark.figure("fig15")
+def test_bench_fig15_pso_combination(benchmark, bench_rpt):
+    result = run_once(benchmark, fig15.run, workloads=WORKLOADS,
+                      conditions=CONDITIONS, num_requests=300)
+
+    def mean_normalized(policy):
+        return float(np.mean([row["normalized_response_time"]
+                              for row in result.rows if row["policy"] == policy]))
+
+    pso = mean_normalized("PSO")
+    combined = mean_normalized("PSO+PnAR2")
+    norr = mean_normalized("NoRR")
+
+    # PSO alone already improves on the Baseline substantially.
+    assert pso < 1.0
+    # PR2 + AR2 are complementary to PSO.
+    assert combined < pso
+    # ... but the ideal NoRR is still out of reach (the paper reports a
+    # remaining ~1.6x gap for PSO+PnAR2).
+    assert norr < combined

@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the performance-critical building blocks.
+
+These are not paper artifacts; they track the cost of the hot paths that the
+figure-level benchmarks depend on (error-model evaluation, retry-table walks,
+BCH decoding, the event engine and the end-to-end simulator throughput).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ecc.bch import BchCode
+from repro.errors import CodewordErrorModel, OperatingCondition
+from repro.nand.geometry import PageType
+from repro.ssd.config import SsdConfig
+from repro.ssd.controller import SsdSimulator
+from repro.ssd.engine import EventQueue
+from repro.workloads import generate_workload
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CodewordErrorModel()
+
+
+def test_bench_expected_errors(benchmark, model):
+    condition = OperatingCondition(1000, 6.0, 30.0)
+    result = benchmark(model.expected_errors, condition, PageType.CSB, -300.0)
+    assert result >= 0.0
+
+
+def test_bench_retry_table_walk(benchmark, model):
+    condition = OperatingCondition(2000, 12.0, 30.0)
+    outcome = benchmark(model.walk_retry_table, condition, PageType.CSB)
+    assert outcome.succeeded
+
+
+def test_bench_bch_decode_8_errors(benchmark):
+    code = BchCode(m=8, t=8)
+    rng = np.random.default_rng(0)
+    message = rng.integers(0, 2, code.k)
+    codeword = code.encode(message)
+    corrupted = codeword.copy()
+    positions = rng.choice(code.n, size=8, replace=False)
+    corrupted[positions] ^= 1
+
+    result = benchmark(code.decode, corrupted)
+    assert result.success
+
+
+def test_bench_event_queue_throughput(benchmark):
+    def run_queue():
+        queue = EventQueue()
+        for i in range(2000):
+            queue.schedule(float(i % 97), lambda: None)
+        return queue.run()
+
+    assert benchmark(run_queue) == 2000
+
+
+def test_bench_simulator_throughput(benchmark, bench_rpt):
+    """Host requests simulated per call on an aged, read-dominant workload."""
+    config = SsdConfig.tiny()
+    footprint = int(config.logical_pages * 0.5)
+
+    def run_simulation():
+        simulator = SsdSimulator(config, policy="PnAR2", rpt=bench_rpt)
+        simulator.precondition(pe_cycles=1000, retention_months=6.0)
+        requests = generate_workload("YCSB-C", 200, footprint, seed=1,
+                                     mean_interarrival_us=500.0)
+        return simulator.run(requests)
+
+    result = benchmark.pedantic(run_simulation, iterations=1, rounds=3)
+    assert result.metrics.host_reads > 150

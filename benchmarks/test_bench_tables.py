@@ -1,0 +1,23 @@
+"""Benchmarks regenerating Table 1 and Table 2."""
+
+import pytest
+
+from conftest import run_once
+
+from repro.experiments import table1, table2
+
+
+@pytest.mark.figure("table1")
+def test_bench_table1_timing_parameters(benchmark):
+    result = benchmark(table1.run)
+    rows = {row["parameter"]: row["time_us"] for row in result.rows}
+    assert rows["tPROG"] == 700.0
+    assert rows["tBERS"] == 5000.0
+
+
+@pytest.mark.figure("table2")
+def test_bench_table2_workload_characteristics(benchmark):
+    result = run_once(benchmark, table2.run, num_requests=1200,
+                      footprint_pages=8000)
+    assert result.headline["workloads"] == 12
+    assert result.headline["largest paper-vs-measured ratio gap"] <= 0.15

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""System-level comparison of read-retry policies on Table 2 workloads.
+
+A scaled-down version of Figures 14 and 15: pick some of the paper's twelve
+workloads and operating conditions, simulate every SSD configuration, and
+print the normalized response times plus the headline reductions.
+
+Usage::
+
+    python examples/policy_comparison.py --workloads usr_1 YCSB-C stg_0 \
+        --pe-cycles 1000 --retention-months 6 --requests 400
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.experiments.common import (
+    default_experiment_config,
+    normalize_grid,
+    run_workload_grid,
+)
+from repro.workloads.catalog import workload_names
+
+POLICIES = ("Baseline", "PR2", "AR2", "PnAR2", "PSO", "PSO+PnAR2", "NoRR")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workloads", nargs="+", default=["usr_1", "YCSB-C"],
+                        choices=workload_names(), help="Table 2 workloads")
+    parser.add_argument("--pe-cycles", type=int, default=1000)
+    parser.add_argument("--retention-months", type=float, default=6.0)
+    parser.add_argument("--requests", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    config = default_experiment_config()
+    print(f"SSD: {config.channels} channels x {config.dies_per_channel} dies "
+          f"x {config.planes_per_die} planes, "
+          f"{config.capacity_gib:.1f} GiB logical (scaled-down geometry)")
+    print(f"Condition: {args.pe_cycles} P/E cycles, "
+          f"{args.retention_months:g}-month retention age\n")
+
+    grid = run_workload_grid(
+        POLICIES, args.workloads,
+        conditions=((args.pe_cycles, args.retention_months),),
+        num_requests=args.requests, config=config, seed=args.seed)
+    rows = list(normalize_grid(grid))
+    print(format_table([{k: row[k] for k in
+                         ("workload", "policy", "normalized_response_time",
+                          "mean_response_us")}
+                        for row in rows]))
+
+    print("\nMean response-time reduction vs Baseline:")
+    for policy in POLICIES:
+        values = [1.0 - row["normalized_response_time"] for row in rows
+                  if row["policy"] == policy]
+        print(f"  {policy:<10} {float(np.mean(values)):>7.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Run every experiment and emit the measured headline numbers as JSON.
+
+Used to populate EXPERIMENTS.md; kept as a script so the report can be
+regenerated after model changes:
+
+    python scripts/generate_experiments_report.py > experiments_headlines.json
+"""
+
+import json
+import sys
+import time
+
+from repro.experiments.runner import run_experiment
+
+CONFIGS = {
+    "table1": {},
+    "table2": {},
+    "fig04b": {},
+    "fig05": {},
+    "fig07": {},
+    "fig08": {},
+    "fig09": {},
+    "fig10": {},
+    "fig11": {},
+    # System-level experiments: all twelve workloads over a reduced but
+    # representative condition grid.
+    "fig14": {"conditions": ((0, 0.0), (1000, 6.0), (2000, 6.0), (2000, 12.0)),
+              "num_requests": 400},
+    "fig15": {"conditions": ((0, 0.0), (1000, 6.0), (2000, 6.0), (2000, 12.0)),
+              "num_requests": 400},
+}
+
+
+def main() -> None:
+    report = {}
+    for name, overrides in CONFIGS.items():
+        start = time.time()
+        result = run_experiment(name, fast=False, **overrides)
+        report[name] = {
+            "title": result.title,
+            "headline": result.headline,
+            "rows": len(result.rows),
+            "seconds": round(time.time() - start, 1),
+        }
+        print(f"# finished {name} in {report[name]['seconds']}s",
+              file=sys.stderr, flush=True)
+    json.dump(report, sys.stdout, indent=2, default=str)
+    print()
+
+
+if __name__ == "__main__":
+    main()

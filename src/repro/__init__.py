@@ -1,0 +1,69 @@
+"""repro — reproduction of "Reducing SSD Read Latency by Optimizing Read-Retry".
+
+This package reimplements, in pure Python, the full system stack evaluated in
+the ASPLOS 2021 paper by Park et al.:
+
+* :mod:`repro.nand` — behavioural 3D TLC NAND flash model (organization,
+  timing parameters, command set, read-retry tables, per-chip state).
+* :mod:`repro.errors` — threshold-voltage and raw-bit-error-rate models,
+  including the effect of retention loss, program/erase cycling, operating
+  temperature, and reduced read-timing parameters.
+* :mod:`repro.ecc` — error-correcting-code substrate (capability-model engine
+  used by the simulator plus real BCH and LDPC codecs).
+* :mod:`repro.characterization` — the virtual 160-chip characterization
+  platform that regenerates the paper's Figures 4(b), 5, 7, 8, 9, 10 and 11
+  and builds the Read-timing Parameter Table (RPT).
+* :mod:`repro.ssd` — an event-driven, multi-queue SSD simulator (MQSim-like)
+  with a page-mapping FTL, garbage collection, out-of-order transaction
+  scheduling and program/erase suspension.
+* :mod:`repro.core` — the paper's contributions: Pipelined Read-Retry (PR2),
+  Adaptive Read-Retry (AR2), their combination (PnAR2), and the evaluated
+  baselines (regular read-retry, PSO, and the ideal NoRR).
+* :mod:`repro.workloads` — trace format and synthetic generators for the
+  twelve MSRC/YCSB workloads of Table 2.
+* :mod:`repro.experiments` — one harness per table/figure of the paper.
+
+Quickstart
+----------
+>>> from repro import quick_ssd_comparison
+>>> result = quick_ssd_comparison(num_requests=200, seed=7)
+>>> sorted(result)
+['AR2', 'Baseline', 'NoRR', 'PR2', 'PnAR2']
+"""
+
+from repro.version import __version__
+
+__all__ = [
+    "__version__",
+    "quick_ssd_comparison",
+]
+
+
+def quick_ssd_comparison(num_requests=1000, read_ratio=0.9, pe_cycles=1000,
+                         retention_months=6.0, seed=0):
+    """Run a tiny end-to-end comparison of the read-retry policies.
+
+    This convenience helper builds a small SSD, generates a synthetic
+    workload and returns the mean response time (in microseconds) of each
+    policy.  It is intentionally small so it can be used in documentation
+    examples and smoke tests; the full evaluation lives in
+    :mod:`repro.experiments`.
+
+    :param num_requests: number of host requests to simulate.
+    :param read_ratio: fraction of requests that are reads.
+    :param pe_cycles: program/erase-cycle count applied to every block.
+    :param retention_months: retention age of cold data, in months.
+    :param seed: seed for the workload generator and the flash backend.
+    :return: mapping from policy name to mean response time in microseconds.
+    """
+    # Imported lazily so that ``import repro`` stays cheap.
+    from repro.experiments.common import compare_policies
+
+    return compare_policies(
+        policies=("Baseline", "PR2", "AR2", "PnAR2", "NoRR"),
+        num_requests=num_requests,
+        read_ratio=read_ratio,
+        pe_cycles=pe_cycles,
+        retention_months=retention_months,
+        seed=seed,
+    )

@@ -1,0 +1,16 @@
+"""Small statistics and table helpers shared by experiments and tests."""
+
+from repro.analysis.stats import (
+    bootstrap_confidence_interval,
+    geometric_mean,
+    summarize,
+)
+from repro.analysis.tables import format_table, rows_to_csv
+
+__all__ = [
+    "geometric_mean",
+    "bootstrap_confidence_interval",
+    "summarize",
+    "format_table",
+    "rows_to_csv",
+]

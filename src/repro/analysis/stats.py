@@ -1,0 +1,52 @@
+"""Summary statistics used when aggregating experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the conventional way to average normalized ratios)."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("geometric_mean of an empty sequence")
+    if np.any(array <= 0):
+        raise ValueError("geometric_mean requires positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def bootstrap_confidence_interval(values: Sequence[float],
+                                  confidence: float = 0.95,
+                                  num_resamples: int = 2000,
+                                  seed: int = 0) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval of the mean."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot bootstrap an empty sequence")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    resampled_means = np.array([
+        rng.choice(array, size=array.size, replace=True).mean()
+        for _ in range(num_resamples)
+    ])
+    alpha = (1.0 - confidence) / 2.0
+    return (float(np.quantile(resampled_means, alpha)),
+            float(np.quantile(resampled_means, 1.0 - alpha)))
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / median / p99 / min / max of a sample."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    return {
+        "count": int(array.size),
+        "mean": float(array.mean()),
+        "median": float(np.median(array)),
+        "p99": float(np.percentile(array, 99.0)),
+        "min": float(array.min()),
+        "max": float(array.max()),
+    }

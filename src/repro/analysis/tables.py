@@ -1,0 +1,47 @@
+"""Rendering helpers for lists of dict rows."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List, Sequence
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] = None) -> str:
+    """Render rows as a fixed-width text table."""
+    rows = list(rows)
+    if not rows:
+        return "(empty table)"
+    columns = list(columns or rows[0].keys())
+    widths = {column: max(len(str(column)),
+                          *(len(str(row.get(column, ""))) for row in rows))
+              for column in columns}
+    lines = ["  ".join(str(column).ljust(widths[column]) for column in columns)]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(str(row.get(column, "")).ljust(widths[column])
+                               for column in columns))
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[dict], columns: Sequence[str] = None) -> str:
+    """Render rows as CSV text (for piping experiment output into plots)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    columns = list(columns or rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def save_rows(rows: Sequence[dict], path: str,
+              columns: Sequence[str] = None) -> int:
+    """Write rows to a CSV file; returns the number of rows written."""
+    text = rows_to_csv(rows, columns)
+    with open(path, "w", newline="") as handle:
+        handle.write(text)
+    return len(list(rows))

@@ -1,0 +1,50 @@
+"""Virtual real-device characterization (Sections 3.1, 4 and 5 of the paper).
+
+The paper characterizes 160 real 48-layer 3D TLC NAND flash chips on an
+FPGA-based test platform with a temperature controller.  This subpackage
+reproduces that study against the calibrated error model:
+
+* :mod:`repro.characterization.platform` — the virtual test platform: a
+  population of chips/blocks/wordlines with process variation, a temperature
+  controller (Arrhenius-accelerated retention baking) and SET FEATURE support
+  for changing read-timing parameters.
+* :mod:`repro.characterization.retry_profile` — Figure 5: how many retry
+  steps reads need across the (P/E cycles, retention age) grid.
+* :mod:`repro.characterization.margin` — Figure 4(b) and Figure 7: RBER per
+  retry step and the ECC-capability margin in the final retry step.
+* :mod:`repro.characterization.timing_sweep` — Figures 8, 9 and 10: the
+  reliability impact of reducing tPRE / tEVAL / tDISCH individually,
+  simultaneously, and across operating temperatures.
+* :mod:`repro.characterization.rpt_builder` — Figure 11 and the Read-timing
+  Parameter Table of Figure 13: the largest safe tPRE reduction per
+  operating-condition bin, with the paper's 14-bit safety margin.
+"""
+
+from repro.characterization.platform import PageSample, VirtualTestPlatform
+from repro.characterization.retry_profile import RetryProfile, profile_retry_steps
+from repro.characterization.margin import (
+    ecc_margin_sweep,
+    final_step_error_sweep,
+    rber_per_retry_step,
+)
+from repro.characterization.timing_sweep import (
+    combined_parameter_sweep,
+    individual_parameter_sweep,
+    temperature_sweep,
+)
+from repro.characterization.rpt_builder import build_rpt, minimum_safe_tpre_sweep
+
+__all__ = [
+    "VirtualTestPlatform",
+    "PageSample",
+    "RetryProfile",
+    "profile_retry_steps",
+    "rber_per_retry_step",
+    "final_step_error_sweep",
+    "ecc_margin_sweep",
+    "individual_parameter_sweep",
+    "combined_parameter_sweep",
+    "temperature_sweep",
+    "build_rpt",
+    "minimum_safe_tpre_sweep",
+]

@@ -1,0 +1,126 @@
+"""Read-retry characteristics of modern NAND flash memory (Figure 5).
+
+Figure 5 of the paper plots, for each (P/E-cycle count, retention age) pair,
+the probability that a read needs a given number of retry steps, together
+with the minimum / average / maximum across more than 10^7 tested pages.
+The headline observations reproduced here:
+
+* a fresh page (0 P/E cycles, 0 retention) needs no read-retry;
+* 54.4% of reads need at least seven retry steps at a 6-month retention age
+  even with no P/E cycling;
+* every read needs at least eight retry steps at (1K P/E cycles, 3 months);
+* the average reaches about 19.9 retry steps at (2K P/E cycles, 12 months),
+  a 21x increase of the page-read latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.characterization.platform import VirtualTestPlatform
+from repro.errors.condition import (
+    CHARACTERIZATION_PE_CYCLES,
+    CHARACTERIZATION_RETENTION_MONTHS,
+    OperatingCondition,
+)
+
+
+@dataclass
+class RetryProfile:
+    """Distribution of retry-step counts for one operating condition."""
+
+    condition: OperatingCondition
+    counts: List[int] = field(default_factory=list)
+    failures: int = 0
+
+    @property
+    def num_reads(self) -> int:
+        return len(self.counts) + self.failures
+
+    @property
+    def min_steps(self) -> int:
+        return min(self.counts) if self.counts else 0
+
+    @property
+    def max_steps(self) -> int:
+        return max(self.counts) if self.counts else 0
+
+    @property
+    def mean_steps(self) -> float:
+        return float(np.mean(self.counts)) if self.counts else 0.0
+
+    def fraction_at_least(self, steps: int) -> float:
+        """Fraction of reads needing at least ``steps`` retry steps."""
+        if not self.num_reads:
+            return 0.0
+        qualifying = sum(1 for count in self.counts if count >= steps)
+        qualifying += self.failures  # failed reads exhausted every step
+        return qualifying / self.num_reads
+
+    def probability_of(self, steps: int) -> float:
+        """Probability that a read needs exactly ``steps`` retry steps."""
+        if not self.num_reads:
+            return 0.0
+        return sum(1 for count in self.counts if count == steps) / self.num_reads
+
+    def histogram(self, max_steps: int = None) -> Dict[int, float]:
+        """Probability mass function of the retry-step count."""
+        limit = max_steps if max_steps is not None else self.max_steps
+        return {steps: self.probability_of(steps) for steps in range(limit + 1)}
+
+    def read_latency_amplification(self) -> float:
+        """Average ``tREAD`` amplification caused by read-retry.
+
+        With the paper's latency equation (2)/(3) every retry step re-pays
+        the full ``tR + tDMA + tECC``, so the amplification is simply
+        ``1 + mean retry steps`` (about 21x at (2K, 12 months)).
+        """
+        return 1.0 + self.mean_steps
+
+
+def profile_retry_steps(
+        platform: VirtualTestPlatform = None,
+        pe_cycles: Sequence[int] = CHARACTERIZATION_PE_CYCLES,
+        retention_months: Sequence[float] = CHARACTERIZATION_RETENTION_MONTHS,
+        temperature_c: float = 30.0,
+) -> Dict[Tuple[int, float], RetryProfile]:
+    """Measure retry-step distributions over the Figure 5 grid.
+
+    :return: mapping from ``(pe_cycles, retention_months)`` to the profile.
+    """
+    platform = platform or VirtualTestPlatform()
+    profiles: Dict[Tuple[int, float], RetryProfile] = {}
+    for pec in pe_cycles:
+        for months in retention_months:
+            condition = OperatingCondition(pe_cycles=pec,
+                                           retention_months=months,
+                                           temperature_c=temperature_c)
+            profile = RetryProfile(condition=condition)
+            for steps in platform.retry_step_counts(condition):
+                if steps is None:
+                    profile.failures += 1
+                else:
+                    profile.counts.append(steps)
+            profiles[(pec, months)] = profile
+    return profiles
+
+
+def summarize_profiles(profiles: Dict[Tuple[int, float], RetryProfile]
+                       ) -> List[dict]:
+    """Flatten profiles into printable rows (one per grid cell)."""
+    rows = []
+    for (pec, months), profile in sorted(profiles.items()):
+        rows.append({
+            "pe_cycles": pec,
+            "retention_months": months,
+            "min": profile.min_steps,
+            "avg": round(profile.mean_steps, 2),
+            "max": profile.max_steps,
+            "frac_ge_7": round(profile.fraction_at_least(7), 3),
+            "latency_amplification": round(profile.read_latency_amplification(), 1),
+            "reads": profile.num_reads,
+        })
+    return rows

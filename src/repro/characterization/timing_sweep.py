@@ -1,0 +1,161 @@
+"""Reliability impact of reduced read-timing parameters (Figures 8, 9, 10).
+
+Section 5.2 of the paper sweeps the three read-phase timing parameters and
+measures the increase in raw bit errors (Delta M_ERR) in the final retry
+step.  The sweeps here reproduce the three panels:
+
+* Figure 8 — reducing tPRE, tEVAL or tDISCH individually: tPRE has by far
+  the largest safe margin (at least 40-47%), tEVAL is extremely sensitive
+  (20% costs ~30 errors even on a fresh page), tDISCH sits in between.
+* Figure 9 — reducing tPRE and tDISCH together: the partially discharged
+  bitlines lengthen the next precharge, so the combination costs more than
+  the sum of its parts.
+* Figure 10 — operating temperature adds a handful of errors at 30/55 degC
+  relative to 85 degC, which is why AR2 budgets a safety margin instead of
+  profiling per temperature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.characterization.platform import VirtualTestPlatform
+from repro.errors.condition import OperatingCondition
+from repro.errors.timing import TimingReduction
+
+#: Reduction grids matching the x-axes of Figures 8 and 9.
+PRE_REDUCTION_GRID = (0.0, 0.07, 0.13, 0.20, 0.27, 0.34, 0.40, 0.47, 0.54, 0.60)
+EVAL_REDUCTION_GRID = (0.0, 0.05, 0.10, 0.15, 0.20)
+DISCH_REDUCTION_GRID = (0.0, 0.07, 0.14, 0.20, 0.27, 0.34, 0.40)
+
+#: Operating-condition grid of Figure 8 (evaluated at 85 degC, Section 5.2.1).
+FIGURE8_PE_CYCLES = (0, 1000, 2000)
+FIGURE8_RETENTION_MONTHS = (0.0, 6.0, 12.0)
+
+#: The five (PEC, retention) pairs of Figure 9.
+FIGURE9_CONDITIONS = ((1000, 0.0), (2000, 0.0), (0, 12.0), (1000, 12.0),
+                      (2000, 12.0))
+
+
+def _worst_case_timing_variation(platform: VirtualTestPlatform):
+    """The block with the slowest bitline population (worst-case chip corner)."""
+    return max((sample.variation for sample in platform.pages()),
+               key=lambda variation: variation.timing_multiplier)
+
+
+def _delta_m_err(platform: VirtualTestPlatform,
+                 condition: OperatingCondition,
+                 reduction: TimingReduction) -> float:
+    """Maximum increase in final-retry-step errors caused by a reduction."""
+    variation = _worst_case_timing_variation(platform)
+    model = platform.error_model.timing_model
+    return model.additional_errors_per_codeword(reduction, condition, variation)
+
+
+def individual_parameter_sweep(
+        platform: VirtualTestPlatform = None,
+        pe_cycles: Sequence[int] = FIGURE8_PE_CYCLES,
+        retention_months: Sequence[float] = FIGURE8_RETENTION_MONTHS,
+        temperature_c: float = 85.0,
+) -> Dict[str, List[dict]]:
+    """Figure 8: Delta M_ERR when reducing each parameter individually.
+
+    :return: mapping from parameter name (``"pre"``, ``"eval"``, ``"disch"``)
+        to rows of ``{pe_cycles, retention_months, reduction, delta_m_err}``.
+    """
+    platform = platform or VirtualTestPlatform(num_chips=8, blocks_per_chip=3,
+                                               wordlines_per_block=1)
+    sweeps = {
+        "pre": [TimingReduction(pre=value) for value in PRE_REDUCTION_GRID],
+        "eval": [TimingReduction(eval_=value) for value in EVAL_REDUCTION_GRID],
+        "disch": [TimingReduction(disch=value) for value in DISCH_REDUCTION_GRID],
+    }
+    results: Dict[str, List[dict]] = {name: [] for name in sweeps}
+    for pec in pe_cycles:
+        for months in retention_months:
+            condition = OperatingCondition(pe_cycles=pec,
+                                           retention_months=months,
+                                           temperature_c=temperature_c)
+            for name, reductions in sweeps.items():
+                for reduction in reductions:
+                    fraction = getattr(reduction,
+                                       "eval_" if name == "eval" else name)
+                    results[name].append({
+                        "pe_cycles": pec,
+                        "retention_months": months,
+                        "reduction": fraction,
+                        "delta_m_err": round(
+                            _delta_m_err(platform, condition, reduction), 2),
+                    })
+    return results
+
+
+def combined_parameter_sweep(
+        platform: VirtualTestPlatform = None,
+        conditions: Sequence[Tuple[int, float]] = FIGURE9_CONDITIONS,
+        temperature_c: float = 85.0,
+) -> List[dict]:
+    """Figure 9: M_ERR when reducing tPRE and tDISCH simultaneously.
+
+    M_ERR here is the total final-retry-step error count (the figure plots it
+    against the 72-bit ECC capability): the near-optimal-step errors of the
+    condition plus the timing-induced additional errors.
+    """
+    platform = platform or VirtualTestPlatform(num_chips=8, blocks_per_chip=3,
+                                               wordlines_per_block=1)
+    rows = []
+    for pec, months in conditions:
+        condition = OperatingCondition(pe_cycles=pec, retention_months=months,
+                                       temperature_c=temperature_c)
+        base = platform.max_final_step_errors(condition)
+        for disch in DISCH_REDUCTION_GRID:
+            for pre in PRE_REDUCTION_GRID:
+                reduction = TimingReduction(pre=pre, disch=disch)
+                delta = _delta_m_err(platform, condition, reduction)
+                rows.append({
+                    "pe_cycles": pec,
+                    "retention_months": months,
+                    "pre_reduction": pre,
+                    "disch_reduction": disch,
+                    "m_err": round(base + delta, 2),
+                })
+    return rows
+
+
+def temperature_sweep(
+        platform: VirtualTestPlatform = None,
+        pe_cycles: Sequence[int] = FIGURE8_PE_CYCLES,
+        retention_months: Sequence[float] = (0.0, 12.0),
+        temperatures_c: Sequence[float] = (55.0, 30.0),
+        reference_temperature_c: float = 85.0,
+) -> List[dict]:
+    """Figure 10: extra tPRE-reduction errors at low operating temperature.
+
+    Reports, for each condition and tPRE reduction, how many *additional*
+    errors appear at 30 and 55 degC compared to the 85 degC reference —
+    at most about 7 even at (2K P/E cycles, 12 months) in the paper.
+    """
+    platform = platform or VirtualTestPlatform(num_chips=8, blocks_per_chip=3,
+                                               wordlines_per_block=1)
+    rows = []
+    for pec in pe_cycles:
+        for months in retention_months:
+            for temperature in temperatures_c:
+                for pre in PRE_REDUCTION_GRID:
+                    reduction = TimingReduction(pre=pre)
+                    cold = _delta_m_err(
+                        platform,
+                        OperatingCondition(pec, months, temperature),
+                        reduction)
+                    hot = _delta_m_err(
+                        platform,
+                        OperatingCondition(pec, months, reference_temperature_c),
+                        reduction)
+                    rows.append({
+                        "pe_cycles": pec,
+                        "retention_months": months,
+                        "temperature_c": temperature,
+                        "pre_reduction": pre,
+                        "extra_errors_vs_85c": round(cold - hot, 2),
+                    })
+    return rows

@@ -1,0 +1,42 @@
+"""The paper's contribution: read-retry latency optimizations.
+
+* :mod:`repro.core.latency` — the latency equations (1)-(5) of the paper and
+  a :class:`ReadLatencyModel` that turns "this read needs N retry steps under
+  policy P" into response-time and resource-occupancy numbers.
+* :mod:`repro.core.rpt` — the Read-timing Parameter Table (RPT) that AR2
+  queries at run time to pick a safely reduced tPRE for the current
+  P/E-cycle count and retention age (Figure 13).
+* :mod:`repro.core.policies` — the read-retry policies evaluated in
+  Section 7: Baseline, PR2, AR2, PnAR2, the ideal NoRR, the PSO prior work,
+  and PSO combined with PnAR2.
+"""
+
+from repro.core.latency import ReadLatencyBreakdown, ReadLatencyModel
+from repro.core.rpt import ReadTimingParameterTable, RptEntry
+from repro.core.policies import (
+    AR2Policy,
+    BaselinePolicy,
+    NoRRPolicy,
+    PR2Policy,
+    PSOPolicy,
+    PnAR2Policy,
+    ReadRetryPolicy,
+    available_policies,
+    get_policy,
+)
+
+__all__ = [
+    "ReadLatencyBreakdown",
+    "ReadLatencyModel",
+    "ReadTimingParameterTable",
+    "RptEntry",
+    "ReadRetryPolicy",
+    "BaselinePolicy",
+    "PR2Policy",
+    "AR2Policy",
+    "PnAR2Policy",
+    "NoRRPolicy",
+    "PSOPolicy",
+    "available_policies",
+    "get_policy",
+]

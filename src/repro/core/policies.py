@@ -1,0 +1,264 @@
+"""Read-retry policies evaluated in Section 7 of the paper.
+
+A policy answers two questions for every flash read the SSD simulator
+serves:
+
+1. *How many retry steps does this read perform?*  Baseline, PR2, AR2 and
+   PnAR2 keep the number dictated by the NAND error behaviour; the ideal
+   NoRR performs none; PSO (the prior-work baseline of Section 7.3) starts
+   the retry sequence from previously learned V_REF values and therefore
+   needs far fewer steps.
+2. *How long does the read take and how long does it occupy the die, the
+   channel and the ECC engine?*  This is where PR2's pipelining and AR2's
+   reduced sensing latency enter, via :class:`repro.core.latency.ReadLatencyModel`.
+
+Policies are stateless strategy objects, so one instance can be shared by
+every die of a simulated SSD.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Tuple
+
+from repro.core.latency import ReadLatencyBreakdown, ReadLatencyModel
+from repro.core.rpt import ReadTimingParameterTable
+from repro.errors.condition import OperatingCondition
+from repro.nand.geometry import PageType
+from repro.nand.timing import TimingParameters
+
+
+class ReadRetryPolicy(abc.ABC):
+    """Strategy interface of a read-retry mechanism."""
+
+    #: Short identifier used in experiment tables (overridden by subclasses).
+    name: str = "abstract"
+
+    def __init__(self, timing: TimingParameters = None,
+                 rpt: ReadTimingParameterTable = None):
+        self.timing = timing or TimingParameters()
+        self.latency_model = ReadLatencyModel(self.timing)
+        self._rpt = rpt
+
+    # -- behaviour ---------------------------------------------------------------
+    def effective_retry_steps(self, required_steps: int,
+                              condition: OperatingCondition) -> int:
+        """Retry steps actually performed for a read that *needs* ``required_steps``.
+
+        The default keeps the NAND-dictated count; NoRR and PSO override it.
+        """
+        if required_steps < 0:
+            raise ValueError("required_steps must be non-negative")
+        return required_steps
+
+    @abc.abstractmethod
+    def read_breakdown(self, required_steps: int, page_type: PageType,
+                       condition: OperatingCondition) -> ReadLatencyBreakdown:
+        """Latency/occupancy breakdown of one read under this policy."""
+
+    # -- AR2 helpers ----------------------------------------------------------------
+    @property
+    def uses_reduced_timing(self) -> bool:
+        """Whether this policy shortens the retry steps' sensing latency."""
+        return False
+
+    @property
+    def rpt(self) -> ReadTimingParameterTable:
+        """The Read-timing Parameter Table (built lazily when first needed)."""
+        if self._rpt is None:
+            self._rpt = ReadTimingParameterTable.default()
+        return self._rpt
+
+    def reduced_timing_for(self, condition: OperatingCondition):
+        """Reduced read-timing parameters AR2 installs for a condition."""
+        return self.rpt.reduced_timing_for(condition.pe_cycles,
+                                           condition.retention_months)
+
+    # -- cosmetics --------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class BaselinePolicy(ReadRetryPolicy):
+    """Regular read-retry of a high-end SSD (Figure 12(a))."""
+
+    name = "Baseline"
+
+    def read_breakdown(self, required_steps: int, page_type: PageType,
+                       condition: OperatingCondition) -> ReadLatencyBreakdown:
+        steps = self.effective_retry_steps(required_steps, condition)
+        return self.latency_model.baseline(steps, page_type)
+
+
+class PR2Policy(ReadRetryPolicy):
+    """Pipelined Read-Retry: retry steps overlap via CACHE READ (Section 6.1)."""
+
+    name = "PR2"
+
+    def read_breakdown(self, required_steps: int, page_type: PageType,
+                       condition: OperatingCondition) -> ReadLatencyBreakdown:
+        steps = self.effective_retry_steps(required_steps, condition)
+        return self.latency_model.pr2(steps, page_type)
+
+
+class AR2Policy(ReadRetryPolicy):
+    """Adaptive Read-Retry: retry steps use an RPT-reduced tPRE (Section 6.2)."""
+
+    name = "AR2"
+
+    @property
+    def uses_reduced_timing(self) -> bool:
+        return True
+
+    def read_breakdown(self, required_steps: int, page_type: PageType,
+                       condition: OperatingCondition) -> ReadLatencyBreakdown:
+        steps = self.effective_retry_steps(required_steps, condition)
+        if steps == 0:
+            return self.latency_model.baseline(0, page_type)
+        return self.latency_model.ar2(steps, page_type,
+                                      self.reduced_timing_for(condition))
+
+
+class PnAR2Policy(ReadRetryPolicy):
+    """PR2 and AR2 combined (the paper's full proposal, Equation (5))."""
+
+    name = "PnAR2"
+
+    @property
+    def uses_reduced_timing(self) -> bool:
+        return True
+
+    def read_breakdown(self, required_steps: int, page_type: PageType,
+                       condition: OperatingCondition) -> ReadLatencyBreakdown:
+        steps = self.effective_retry_steps(required_steps, condition)
+        if steps == 0:
+            return self.latency_model.baseline(0, page_type)
+        return self.latency_model.pnar2(steps, page_type,
+                                        self.reduced_timing_for(condition))
+
+
+class NoRRPolicy(ReadRetryPolicy):
+    """Ideal SSD where read-retry never occurs (upper bound of Section 7.2)."""
+
+    name = "NoRR"
+
+    def effective_retry_steps(self, required_steps: int,
+                              condition: OperatingCondition) -> int:
+        super().effective_retry_steps(required_steps, condition)
+        return 0
+
+    def read_breakdown(self, required_steps: int, page_type: PageType,
+                       condition: OperatingCondition) -> ReadLatencyBreakdown:
+        return self.latency_model.no_retry(page_type)
+
+
+class PSOPolicy(ReadRetryPolicy):
+    """Process-Similarity-aware Optimization (Shim et al. [84], Section 7.3).
+
+    PSO reuses the V_REF values recently learned from other pages with
+    similar error characteristics, so a read starts its retry sequence close
+    to the optimal voltages: the paper reports roughly a 70% reduction in the
+    number of retry steps but never fewer than three steps per read in an
+    aged SSD.  PSO changes only the *number* of steps; the latency of each
+    step follows the wrapped mechanism (regular read-retry by default, or
+    PnAR2 for the ``PSO+PnAR2`` configuration).
+
+    :param mechanism: the latency mechanism the retry steps use
+        ("baseline" or "pnar2").
+    :param step_fraction: fraction of the NAND-required steps PSO still needs.
+    :param min_steps: floor on the number of steps when any retry is needed.
+    """
+
+    name = "PSO"
+
+    def __init__(self, timing: TimingParameters = None,
+                 rpt: ReadTimingParameterTable = None,
+                 mechanism: str = "baseline",
+                 step_fraction: float = 0.3,
+                 min_steps: int = 3):
+        super().__init__(timing=timing, rpt=rpt)
+        mechanism = mechanism.lower()
+        if mechanism not in ("baseline", "pnar2"):
+            raise ValueError("PSO can wrap 'baseline' or 'pnar2' mechanisms")
+        if not 0.0 < step_fraction <= 1.0:
+            raise ValueError("step_fraction must be in (0, 1]")
+        if min_steps < 1:
+            raise ValueError("min_steps must be at least 1")
+        self.mechanism = mechanism
+        self.step_fraction = step_fraction
+        self.min_steps = min_steps
+        if mechanism == "pnar2":
+            self.name = "PSO+PnAR2"
+
+    @property
+    def uses_reduced_timing(self) -> bool:
+        return self.mechanism == "pnar2"
+
+    def effective_retry_steps(self, required_steps: int,
+                              condition: OperatingCondition) -> int:
+        super().effective_retry_steps(required_steps, condition)
+        if required_steps == 0:
+            return 0
+        predicted = max(self.min_steps, round(self.step_fraction * required_steps))
+        return min(required_steps, predicted)
+
+    def read_breakdown(self, required_steps: int, page_type: PageType,
+                       condition: OperatingCondition) -> ReadLatencyBreakdown:
+        steps = self.effective_retry_steps(required_steps, condition)
+        if self.mechanism == "baseline" or steps == 0:
+            return self.latency_model.baseline(steps, page_type)
+        return self.latency_model.pnar2(steps, page_type,
+                                        self.reduced_timing_for(condition))
+
+
+#: Factory table of the SSD configurations compared in Figures 14 and 15.
+_POLICY_FACTORIES = {
+    "baseline": lambda timing, rpt: BaselinePolicy(timing, rpt),
+    "pr2": lambda timing, rpt: PR2Policy(timing, rpt),
+    "ar2": lambda timing, rpt: AR2Policy(timing, rpt),
+    "pnar2": lambda timing, rpt: PnAR2Policy(timing, rpt),
+    "norr": lambda timing, rpt: NoRRPolicy(timing, rpt),
+    "pso": lambda timing, rpt: PSOPolicy(timing, rpt, mechanism="baseline"),
+    "pso+pnar2": lambda timing, rpt: PSOPolicy(timing, rpt, mechanism="pnar2"),
+}
+
+#: Canonical display names, in the order the paper's figures list them.
+_CANONICAL_NAMES = {
+    "baseline": "Baseline",
+    "pr2": "PR2",
+    "ar2": "AR2",
+    "pnar2": "PnAR2",
+    "norr": "NoRR",
+    "pso": "PSO",
+    "pso+pnar2": "PSO+PnAR2",
+}
+
+
+def available_policies() -> Tuple[str, ...]:
+    """Names of every SSD configuration that can be simulated."""
+    return tuple(_CANONICAL_NAMES.values())
+
+
+def get_policy(name: str, timing: TimingParameters = None,
+               rpt: ReadTimingParameterTable = None) -> ReadRetryPolicy:
+    """Instantiate a policy by (case-insensitive) name."""
+    key = name.strip().lower()
+    if key not in _POLICY_FACTORIES:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {sorted(_CANONICAL_NAMES.values())}")
+    return _POLICY_FACTORIES[key](timing, rpt)
+
+
+def policy_suite(names=None, timing: TimingParameters = None,
+                 rpt: ReadTimingParameterTable = None) -> Dict[str, ReadRetryPolicy]:
+    """Instantiate several policies sharing one timing model and RPT."""
+    names = names or available_policies()
+    shared_rpt: Optional[ReadTimingParameterTable] = rpt
+    suite = {}
+    for name in names:
+        policy = get_policy(name, timing=timing, rpt=shared_rpt)
+        if policy.uses_reduced_timing and shared_rpt is None:
+            # Build the RPT once and share it across the suite.
+            shared_rpt = policy.rpt
+        suite[_CANONICAL_NAMES[name.strip().lower()]] = policy
+    return suite

@@ -1,0 +1,91 @@
+"""Codeword layout of a NAND flash page.
+
+A 16-KiB page is protected as sixteen independent 1-KiB codewords, each
+carrying its own ECC parity in the page's spare area (Section 2.4).  The
+read-retry mechanism operates at page granularity — the page is re-read when
+*any* codeword fails — so the layout matters for two things:
+
+* mapping a raw-bit-error budget per codeword to a page-level success
+  condition (the worst codeword decides), and
+* accounting for the parity overhead when sizing the spare area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+
+@dataclass(frozen=True)
+class PageLayout:
+    """How a page's data area is split into ECC codewords.
+
+    :param page_data_bytes: user-data bytes per page (16 KiB by default).
+    :param codeword_data_bytes: payload bytes per codeword (1 KiB).
+    :param parity_bits_per_codeword: ECC parity bits per codeword.  The
+        default corresponds to a BCH-like code correcting 72 errors over a
+        GF(2^14) field (72 * 14 = 1008 parity bits).
+    """
+
+    page_data_bytes: int = 16 * 1024
+    codeword_data_bytes: int = 1024
+    parity_bits_per_codeword: int = 72 * 14
+
+    def __post_init__(self) -> None:
+        if self.page_data_bytes <= 0 or self.codeword_data_bytes <= 0:
+            raise ValueError("sizes must be positive")
+        if self.page_data_bytes % self.codeword_data_bytes:
+            raise ValueError(
+                "page_data_bytes must be a multiple of codeword_data_bytes")
+        if self.parity_bits_per_codeword < 0:
+            raise ValueError("parity_bits_per_codeword must be non-negative")
+
+    @property
+    def codewords_per_page(self) -> int:
+        return self.page_data_bytes // self.codeword_data_bytes
+
+    @property
+    def spare_bytes_per_page(self) -> int:
+        """Spare-area bytes needed to store all codewords' parity."""
+        total_bits = self.parity_bits_per_codeword * self.codewords_per_page
+        return (total_bits + 7) // 8
+
+    @property
+    def code_rate(self) -> float:
+        """Fraction of stored bits that are user data."""
+        data_bits = self.codeword_data_bytes * 8
+        return data_bits / (data_bits + self.parity_bits_per_codeword)
+
+    def page_decodes(self, codeword_errors: Iterable[int],
+                     capability_bits: int) -> bool:
+        """Whether a page decodes given per-codeword raw bit error counts."""
+        errors = list(codeword_errors)
+        self._validate_codeword_count(errors)
+        return all(count <= capability_bits for count in errors)
+
+    def worst_codeword(self, codeword_errors: Iterable[int]) -> int:
+        """Error count of the codeword that decides the page's fate."""
+        errors = list(codeword_errors)
+        self._validate_codeword_count(errors)
+        return max(errors)
+
+    def split_errors(self, page_error_count: int) -> List[int]:
+        """Evenly spread a page-level error count across codewords.
+
+        Used by coarse models that track errors per page: the resulting
+        per-codeword counts preserve the total while keeping the worst
+        codeword realistic (errors spread roughly uniformly across a page
+        when data is randomized, Section 4 footnote 6).
+        """
+        if page_error_count < 0:
+            raise ValueError("page_error_count must be non-negative")
+        codewords = self.codewords_per_page
+        base, remainder = divmod(page_error_count, codewords)
+        return [base + (1 if index < remainder else 0)
+                for index in range(codewords)]
+
+    def _validate_codeword_count(self, errors: List[int]) -> None:
+        if len(errors) != self.codewords_per_page:
+            raise ValueError(
+                f"expected {self.codewords_per_page} codeword error counts, "
+                f"got {len(errors)}")

@@ -1,0 +1,38 @@
+"""Error models for 3D TLC NAND flash memory.
+
+The characterization results of the paper (Sections 3.1, 5.1 and 5.2) are
+reproduced by an analytic threshold-voltage model plus a bitline-timing
+model:
+
+* :mod:`repro.errors.condition` — the operating condition triple
+  (P/E cycles, retention age, operating temperature) that every model takes.
+* :mod:`repro.errors.calibration` — every calibration constant, with the
+  paper observation it reproduces.
+* :mod:`repro.errors.retention` — Arrhenius acceleration of retention loss.
+* :mod:`repro.errors.vth` — per-state V_TH distributions (means and sigmas)
+  as a function of the operating condition.
+* :mod:`repro.errors.rber` — raw-bit-error counts per 1-KiB codeword for a
+  given read-reference set, page type and operating condition.
+* :mod:`repro.errors.timing` — additional raw bit errors caused by reduced
+  read-timing parameters (tPRE / tEVAL / tDISCH).
+* :mod:`repro.errors.variation` — chip/block/wordline process variation.
+"""
+
+from repro.errors.condition import OperatingCondition
+from repro.errors.retention import arrhenius_acceleration_factor, effective_retention_months
+from repro.errors.vth import ThresholdVoltageModel
+from repro.errors.rber import CodewordErrorModel
+from repro.errors.timing import ReadTimingErrorModel, TimingReduction
+from repro.errors.variation import ProcessVariation, VariationSample
+
+__all__ = [
+    "OperatingCondition",
+    "arrhenius_acceleration_factor",
+    "effective_retention_months",
+    "ThresholdVoltageModel",
+    "CodewordErrorModel",
+    "ReadTimingErrorModel",
+    "TimingReduction",
+    "ProcessVariation",
+    "VariationSample",
+]

@@ -1,0 +1,87 @@
+"""Operating conditions used throughout the characterization and evaluation.
+
+The paper characterizes NAND flash behaviour along three axes (Section 4):
+
+* P/E-cycle count of the block (0 to 2K in the characterization, up to the
+  3K endurance limit in the evaluation grid),
+* data retention age, expressed as the *effective* retention age at 30 degC
+  following JEDEC JESD218 (a bake at elevated temperature maps to a longer
+  effective age via Arrhenius's law, see :mod:`repro.errors.retention`),
+* operating temperature at the time of the read (30, 55 or 85 degC in the
+  paper's experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class OperatingCondition:
+    """A (P/E cycles, retention age, operating temperature) triple."""
+
+    pe_cycles: int = 0
+    retention_months: float = 0.0
+    temperature_c: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.pe_cycles < 0:
+            raise ValueError("pe_cycles must be non-negative")
+        if self.retention_months < 0:
+            raise ValueError("retention_months must be non-negative")
+        if not -40.0 <= self.temperature_c <= 125.0:
+            raise ValueError(
+                "temperature_c outside the plausible operating range "
+                f"[-40, 125]: {self.temperature_c}")
+
+    # -- derived helpers ------------------------------------------------------
+    @property
+    def kilo_pe_cycles(self) -> float:
+        """P/E cycles expressed in thousands (the paper's PEC axis unit)."""
+        return self.pe_cycles / 1000.0
+
+    def with_temperature(self, temperature_c: float) -> "OperatingCondition":
+        return replace(self, temperature_c=temperature_c)
+
+    def with_retention(self, retention_months: float) -> "OperatingCondition":
+        return replace(self, retention_months=retention_months)
+
+    def with_pe_cycles(self, pe_cycles: int) -> "OperatingCondition":
+        return replace(self, pe_cycles=pe_cycles)
+
+    def key(self) -> tuple:
+        """Hashable key used for caching per-condition computations."""
+        return (self.pe_cycles, round(self.retention_months, 6),
+                round(self.temperature_c, 3))
+
+    def label(self) -> str:
+        """Short human-readable label, e.g. ``"1K PEC / 6 mo / 85C"``."""
+        if self.pe_cycles >= 1000 and self.pe_cycles % 1000 == 0:
+            pec = f"{self.pe_cycles // 1000}K"
+        else:
+            pec = str(self.pe_cycles)
+        return (f"{pec} PEC / {self.retention_months:g} mo / "
+                f"{self.temperature_c:g}C")
+
+
+#: Worst-case operating condition prescribed by manufacturers for client SSDs
+#: (a 1-year retention age at 1.5K P/E cycles, Section 1 / Section 5.1).
+MANUFACTURER_WORST_CASE = OperatingCondition(
+    pe_cycles=1500, retention_months=12.0, temperature_c=30.0)
+
+#: The characterization grid of Figures 5 and 7: P/E cycles x retention ages.
+CHARACTERIZATION_PE_CYCLES = (0, 1000, 2000)
+CHARACTERIZATION_RETENTION_MONTHS = (0.0, 3.0, 6.0, 9.0, 12.0)
+CHARACTERIZATION_TEMPERATURES_C = (85.0, 55.0, 30.0)
+
+
+def characterization_grid(temperatures=(85.0,)):
+    """Yield the (PEC, retention, temperature) grid used by Figures 5-11."""
+    for temperature_c in temperatures:
+        for pe_cycles in CHARACTERIZATION_PE_CYCLES:
+            for retention_months in CHARACTERIZATION_RETENTION_MONTHS:
+                yield OperatingCondition(
+                    pe_cycles=pe_cycles,
+                    retention_months=retention_months,
+                    temperature_c=temperature_c,
+                )

@@ -1,0 +1,87 @@
+"""Arrhenius acceleration of retention loss.
+
+The characterization platform of the paper bakes NAND flash chips at an
+elevated temperature to emulate long retention ages in a short wall-clock
+time: "13 hours at 85 degC is approximately equivalent to 1 year at 30 degC"
+(Section 4).  JEDEC JESD218 / JESD22-A117 formalize this with Arrhenius's
+law: the retention-loss rate is proportional to ``exp(-Ea / (k_B * T))`` with
+an activation energy ``Ea`` of about 1.1 eV for charge de-trapping in 3D
+charge-trap cells.
+
+This module provides the conversion both ways:
+
+* :func:`arrhenius_acceleration_factor` — how much faster retention loss
+  proceeds at a bake temperature relative to a use temperature;
+* :func:`effective_retention_months` — the effective retention age at the
+  use temperature produced by a bake of a given duration;
+* :func:`required_bake_hours` — the bake duration needed to emulate a target
+  effective retention age (what the virtual test platform uses).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Boltzmann constant in electron-volts per kelvin.
+BOLTZMANN_EV_PER_K = 8.617333262e-5
+
+#: Activation energy of retention loss in 3D charge-trap NAND (eV).  Chosen
+#: so that 13 hours at 85 degC map to approximately one year at 30 degC, the
+#: equivalence quoted in Section 4 of the paper.
+DEFAULT_ACTIVATION_ENERGY_EV = 1.1
+
+#: Reference use temperature of the JEDEC client-SSD retention requirement.
+DEFAULT_USE_TEMPERATURE_C = 30.0
+
+HOURS_PER_MONTH = 24.0 * 365.0 / 12.0
+
+
+def _kelvin(temperature_c: float) -> float:
+    kelvin = temperature_c + 273.15
+    if kelvin <= 0:
+        raise ValueError(f"temperature below absolute zero: {temperature_c}C")
+    return kelvin
+
+
+def arrhenius_acceleration_factor(
+        bake_temperature_c: float,
+        use_temperature_c: float = DEFAULT_USE_TEMPERATURE_C,
+        activation_energy_ev: float = DEFAULT_ACTIVATION_ENERGY_EV) -> float:
+    """Acceleration factor of retention loss at ``bake_temperature_c``.
+
+    A factor of ``F`` means one hour of bake ages the data as much as ``F``
+    hours at the use temperature.  The factor is 1.0 when the two
+    temperatures are equal and grows exponentially with the temperature gap.
+    """
+    if activation_energy_ev <= 0:
+        raise ValueError("activation_energy_ev must be positive")
+    t_bake = _kelvin(bake_temperature_c)
+    t_use = _kelvin(use_temperature_c)
+    exponent = (activation_energy_ev / BOLTZMANN_EV_PER_K) * (1.0 / t_use - 1.0 / t_bake)
+    return math.exp(exponent)
+
+
+def effective_retention_months(
+        bake_hours: float,
+        bake_temperature_c: float,
+        use_temperature_c: float = DEFAULT_USE_TEMPERATURE_C,
+        activation_energy_ev: float = DEFAULT_ACTIVATION_ENERGY_EV) -> float:
+    """Effective retention age (months at the use temperature) of a bake."""
+    if bake_hours < 0:
+        raise ValueError("bake_hours must be non-negative")
+    factor = arrhenius_acceleration_factor(
+        bake_temperature_c, use_temperature_c, activation_energy_ev)
+    return bake_hours * factor / HOURS_PER_MONTH
+
+
+def required_bake_hours(
+        target_retention_months: float,
+        bake_temperature_c: float,
+        use_temperature_c: float = DEFAULT_USE_TEMPERATURE_C,
+        activation_energy_ev: float = DEFAULT_ACTIVATION_ENERGY_EV) -> float:
+    """Bake duration (hours) emulating ``target_retention_months`` of aging."""
+    if target_retention_months < 0:
+        raise ValueError("target_retention_months must be non-negative")
+    factor = arrhenius_acceleration_factor(
+        bake_temperature_c, use_temperature_c, activation_energy_ev)
+    return target_retention_months * HOURS_PER_MONTH / factor

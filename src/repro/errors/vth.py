@@ -1,0 +1,164 @@
+"""Threshold-voltage distribution model of 3D TLC NAND flash cells.
+
+Each of the eight V_TH states is modelled as a Gaussian whose mean shifts
+downwards and whose standard deviation widens as a function of the operating
+condition (P/E cycles, retention age) — the behaviour sketched in Figures 3
+and 4(a) of the paper and quantified by the calibration constants in
+:mod:`repro.errors.calibration`.
+
+The model exposes three quantities the rest of the stack needs:
+
+* the per-state means and sigmas under a condition (used by the RBER model),
+* the *optimal* read-reference shift, i.e. how far the default V_REF values
+  are from the optimal ones (this determines how many retry steps a read
+  needs, Section 3.1),
+* the per-boundary optimal read voltages (used to quantify the error floor
+  in the final retry step, Section 5.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors.calibration import VTH_CALIBRATION, VthCalibration
+from repro.errors.condition import OperatingCondition
+from repro.errors.variation import VariationSample
+from repro.nand.voltage import (
+    NUM_BOUNDARIES,
+    NUM_STATES,
+    fresh_state_means_mv,
+)
+
+
+class ThresholdVoltageModel:
+    """Analytic model of the V_TH distributions of a TLC wordline."""
+
+    def __init__(self, calibration: VthCalibration = VTH_CALIBRATION):
+        self._calibration = calibration
+        self._fresh_means = np.asarray(fresh_state_means_mv(), dtype=float)
+
+    @property
+    def calibration(self) -> VthCalibration:
+        return self._calibration
+
+    # -- aging laws -----------------------------------------------------------
+    def retention_shift_mv(self, condition: OperatingCondition,
+                           variation: VariationSample = None) -> float:
+        """Downward V_TH shift of the programmed states (mV, positive value).
+
+        The shift grows logarithmically with retention age and is amplified
+        by P/E cycling (worn cells leak charge faster), reproducing the
+        retry-step counts of Figure 5.
+        """
+        cal = self._calibration
+        shift = (cal.shift_scale_mv
+                 * math.log1p(condition.retention_months / cal.shift_tau_months)
+                 * (1.0 + cal.shift_pec_coefficient
+                    * condition.kilo_pe_cycles ** cal.shift_pec_exponent))
+        if variation is not None:
+            shift *= variation.shift_multiplier
+        return shift
+
+    def sigma_multiplier(self, condition: OperatingCondition) -> float:
+        """Widening factor of the V_TH distributions under a condition."""
+        cal = self._calibration
+        return (1.0
+                + cal.sigma_pec_coefficient
+                * condition.kilo_pe_cycles ** cal.sigma_pec_exponent
+                + cal.sigma_retention_coefficient
+                * math.log1p(condition.retention_months
+                             / cal.sigma_retention_tau_months))
+
+    # -- distributions --------------------------------------------------------
+    def state_means_mv(self, condition: OperatingCondition,
+                       variation: VariationSample = None) -> np.ndarray:
+        """Means of the eight V_TH states under ``condition`` (mV)."""
+        shift = self.retention_shift_mv(condition, variation)
+        means = self._fresh_means.copy()
+        # The erased state holds almost no charge and barely moves; every
+        # programmed state loses charge and moves down by the same amount
+        # (to first order), which is why a uniform V_REF shift per retry step
+        # works well (Figure 4(a)).
+        means[0] -= shift * self._calibration.erased_shift_fraction
+        means[1:] -= shift
+        return means
+
+    def state_sigmas_mv(self, condition: OperatingCondition,
+                        variation: VariationSample = None) -> np.ndarray:
+        """Standard deviations of the eight V_TH states (mV)."""
+        cal = self._calibration
+        multiplier = self.sigma_multiplier(condition)
+        if variation is not None:
+            multiplier *= variation.sigma_multiplier
+        sigmas = np.full(NUM_STATES, cal.sigma_programmed_fresh_mv * multiplier)
+        sigmas[0] = cal.sigma_erased_fresh_mv * multiplier
+        return sigmas
+
+    # -- optimal read voltages ------------------------------------------------
+    def optimal_boundary_voltages_mv(
+            self, condition: OperatingCondition,
+            variation: VariationSample = None) -> np.ndarray:
+        """Per-boundary optimal read voltages V_OPT (mV).
+
+        For two Gaussians with similar widths the RBER-minimizing read voltage
+        is very close to the sigma-weighted midpoint of the adjacent state
+        means; that approximation is used here.
+        """
+        means = self.state_means_mv(condition, variation)
+        sigmas = self.state_sigmas_mv(condition, variation)
+        voltages = np.empty(NUM_BOUNDARIES)
+        for boundary in range(NUM_BOUNDARIES):
+            lo, hi = boundary, boundary + 1
+            voltages[boundary] = (
+                (means[lo] * sigmas[hi] + means[hi] * sigmas[lo])
+                / (sigmas[lo] + sigmas[hi]))
+        return voltages
+
+    def optimal_shift_mv(self, condition: OperatingCondition,
+                         variation: VariationSample = None) -> float:
+        """Uniform V_REF shift that best tracks the optimal read voltages.
+
+        This is the quantity the read-retry table is chasing: the number of
+        retry steps a page needs is roughly ``optimal_shift / step`` of the
+        table (the shift is negative, i.e. downwards, matching the table's
+        negative step direction).
+        """
+        from repro.nand.voltage import default_read_references_mv
+
+        optimal = self.optimal_boundary_voltages_mv(condition, variation)
+        defaults = np.asarray(default_read_references_mv())
+        # Boundary 0 separates the erased state from P1 and has a much wider
+        # margin, so it does not constrain the uniform shift; use the
+        # programmed-state boundaries only.
+        return float(np.mean(optimal[1:] - defaults[1:]))
+
+    def temperature_extra_errors_per_kib(
+            self, condition: OperatingCondition) -> float:
+        """Additional raw bit errors per KiB caused by a low read temperature.
+
+        Electron mobility in the poly-silicon channel drops with temperature,
+        reducing the bitline current so that erased-ish cells may be sensed
+        as programmed; the paper measures roughly +5 errors/KiB at 30 degC and
+        +3 at 55 degC relative to 85 degC (Section 5.1).
+        """
+        cal = self._calibration
+        delta = cal.temperature_reference_c - condition.temperature_c
+        if delta <= 0:
+            return 0.0
+        return cal.temperature_error_slope_per_kib * delta / cal.temperature_error_span_c
+
+    # -- convenience ----------------------------------------------------------
+    def boundary_parameters(self, condition: OperatingCondition,
+                            variation: VariationSample = None
+                            ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return (lower means, lower sigmas, upper means, upper sigmas).
+
+        One entry per V_REF boundary; used by the RBER model to evaluate the
+        two-sided tail probabilities efficiently.
+        """
+        means = self.state_means_mv(condition, variation)
+        sigmas = self.state_sigmas_mv(condition, variation)
+        return means[:-1], sigmas[:-1], means[1:], sigmas[1:]

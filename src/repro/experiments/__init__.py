@@ -1,0 +1,34 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every module exposes a ``run(...)`` function returning an
+:class:`repro.experiments.reporting.ExperimentResult` whose rows mirror the
+data the corresponding paper artifact reports, plus sensible "fast" defaults
+so the whole suite can run in minutes.  The ``repro-experiment`` console
+script (see :mod:`repro.experiments.runner`) dispatches by experiment name.
+
+==========  ==============================================================
+Experiment  Paper artifact
+==========  ==============================================================
+table1      Table 1 — NAND flash timing parameters
+table2      Table 2 — workload characteristics (read/cold ratio)
+fig04b      Figure 4(b) — RBER over the last retry steps
+fig05       Figure 5 — retry-step counts across (PEC, retention)
+fig07       Figure 7 — ECC-capability margin in the final retry step
+fig08       Figure 8 — effect of reducing each timing parameter
+fig09       Figure 9 — effect of reducing tPRE and tDISCH together
+fig10       Figure 10 — temperature effect on tPRE reduction
+fig11       Figure 11 — minimum safe tPRE per condition
+fig14       Figure 14 — SSD response time of PR2/AR2/PnAR2/NoRR
+fig15       Figure 15 — PSO and PSO+PnAR2 comparison
+==========  ==============================================================
+"""
+
+from repro.experiments.reporting import ExperimentResult
+
+__all__ = ["ExperimentResult", "EXPERIMENT_NAMES"]
+
+#: Names accepted by the runner, in presentation order.
+EXPERIMENT_NAMES = (
+    "table1", "table2", "fig04b", "fig05", "fig07", "fig08", "fig09",
+    "fig10", "fig11", "fig14", "fig15",
+)

@@ -1,0 +1,119 @@
+"""Shared plumbing for the system-level experiments (Figures 14 and 15)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.core.rpt import ReadTimingParameterTable
+from repro.ssd.config import SsdConfig
+from repro.ssd.controller import SimulationResult, simulate_policies
+from repro.ssd.metrics import normalized_response_times
+from repro.workloads.catalog import WORKLOAD_CATALOG, generate_workload
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadShape
+
+#: The operating-condition grid of Figures 14/15: P/E cycles (x1000) and
+#: retention ages (months).  The paper sweeps 0-3K PEC and 0/6/12 months; the
+#: default here is the subset shown on the figures' x-axis labels.
+DEFAULT_CONDITION_GRID: Tuple[Tuple[int, float], ...] = (
+    (0, 0.0), (0, 6.0), (0, 12.0),
+    (1000, 0.0), (1000, 6.0), (1000, 12.0),
+    (2000, 0.0), (2000, 6.0), (2000, 12.0),
+)
+
+#: SSD configurations compared in Figure 14 (and Figure 15 adds the PSO pair).
+FIGURE14_POLICIES = ("Baseline", "PR2", "AR2", "PnAR2", "NoRR")
+FIGURE15_POLICIES = ("Baseline", "PSO", "PSO+PnAR2", "NoRR")
+
+
+def default_experiment_config(**overrides) -> SsdConfig:
+    """The scaled-down SSD used by the system-level experiments."""
+    defaults = dict(blocks_per_plane=24, pages_per_block=48)
+    defaults.update(overrides)
+    return SsdConfig.scaled(**defaults)
+
+
+def run_workload_grid(policies: Sequence[str],
+                      workloads: Sequence[str],
+                      conditions: Sequence[Tuple[int, float]] = DEFAULT_CONDITION_GRID,
+                      num_requests: int = 800,
+                      config: SsdConfig = None,
+                      seed: int = 0,
+                      rpt: ReadTimingParameterTable = None,
+                      mean_interarrival_us: float = 700.0):
+    """Run every (workload, condition) cell against every policy.
+
+    :param mean_interarrival_us: request inter-arrival time of the generated
+        streams.  The default keeps the Baseline SSD below saturation even
+        at the worst operating condition (about 20 retry steps per read), so
+        the normalized response times measure the mechanisms rather than a
+        queueing collapse — the paper's week-long enterprise traces are
+        similarly far from saturating the device.
+    :return: nested dict ``results[workload][(pec, months)][policy]`` of
+        :class:`SimulationResult`.
+    """
+    config = config or default_experiment_config()
+    rpt = rpt or ReadTimingParameterTable.default()
+    footprint = int(config.logical_pages * 0.8)
+    results: Dict[str, Dict[Tuple[int, float], Dict[str, SimulationResult]]] = {}
+    for workload in workloads:
+        if workload not in WORKLOAD_CATALOG:
+            raise KeyError(f"unknown workload {workload!r}")
+        results[workload] = {}
+        for pec, months in conditions:
+            def requests_factory(name=workload):
+                return generate_workload(
+                    name, num_requests, footprint, seed=seed,
+                    mean_interarrival_us=mean_interarrival_us)
+            cell = simulate_policies(policies, requests_factory, config=config,
+                                     pe_cycles=pec, retention_months=months,
+                                     rpt=rpt)
+            results[workload][(pec, months)] = cell
+    return results
+
+
+def normalize_grid(results, baseline: str = "Baseline") -> Iterable[dict]:
+    """Flatten a grid of results into normalized-response-time rows."""
+    for workload, by_condition in results.items():
+        read_dominant = WORKLOAD_CATALOG[workload].read_dominant
+        for (pec, months), cell in by_condition.items():
+            normalized = normalized_response_times(
+                {name: result.metrics for name, result in cell.items()},
+                baseline=baseline)
+            for policy, value in normalized.items():
+                yield {
+                    "workload": workload,
+                    "class": "read-dominant" if read_dominant else "write-dominant",
+                    "pe_cycles": pec,
+                    "retention_months": months,
+                    "policy": policy,
+                    "normalized_response_time": round(value, 4),
+                    "mean_response_us": round(
+                        cell[policy].metrics.mean_response_time_us(), 2),
+                }
+
+
+def compare_policies(policies: Sequence[str] = FIGURE14_POLICIES,
+                     num_requests: int = 500,
+                     read_ratio: float = 0.9,
+                     pe_cycles: int = 1000,
+                     retention_months: float = 6.0,
+                     seed: int = 0,
+                     config: SsdConfig = None) -> Dict[str, float]:
+    """Small end-to-end comparison used by ``repro.quick_ssd_comparison``.
+
+    :return: mapping from policy name to mean response time in microseconds.
+    """
+    config = config or default_experiment_config()
+    footprint = int(config.logical_pages * 0.8)
+    shape = WorkloadShape(read_ratio=read_ratio, cold_ratio=0.7,
+                          mean_interarrival_us=300.0)
+
+    def requests_factory():
+        return SyntheticWorkload(shape, footprint,
+                                 seed=seed).generate(num_requests)
+
+    results = simulate_policies(policies, requests_factory, config=config,
+                                pe_cycles=pe_cycles,
+                                retention_months=retention_months)
+    return {name: result.mean_response_time_us
+            for name, result in results.items()}

@@ -1,0 +1,41 @@
+"""Figure 11: minimum safe tPRE for reliable tRETRY reduction.
+
+The experiment also renders the resulting Read-timing Parameter Table (the
+Figure 13 inset) because that is the artifact AR2 consumes at run time.
+"""
+
+from __future__ import annotations
+
+from repro.characterization.rpt_builder import build_rpt, minimum_safe_tpre_sweep
+from repro.errors.calibration import ECC_CALIBRATION
+from repro.experiments.reporting import ExperimentResult
+
+
+def run(seed: int = 0) -> ExperimentResult:
+    rows = minimum_safe_tpre_sweep()
+    reductions = [row["max_pre_reduction_pct"] for row in rows]
+    rpt = build_rpt()
+    headline = {
+        "smallest safe tPRE reduction [%]": min(reductions),
+        "largest safe tPRE reduction [%]": max(reductions),
+        "safety margin [bits]": ECC_CALIBRATION.ar2_safety_margin_bits,
+        "RPT entries": len(list(rpt.iter_entries())),
+        "RPT storage [bytes]": rpt.storage_bytes(),
+    }
+    return ExperimentResult(
+        name="fig11",
+        title="Figure 11: minimum tPRE for safe tRETRY reduction",
+        rows=rows,
+        headline=headline,
+        notes=["the paper finds tPRE can be reduced by at least 40% and up "
+               "to 54% under any operating condition once the 14-bit safety "
+               "margin is reserved"],
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

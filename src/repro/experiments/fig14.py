@@ -1,0 +1,91 @@
+"""Figure 14: SSD response time of PR2, AR2, PnAR2 and NoRR vs Baseline.
+
+For every workload and (P/E cycles, retention age) cell, the experiment
+reports the mean SSD response time of each configuration normalized to the
+Baseline.  Headline numbers mirror the paper's observations: PnAR2 reduces
+the average response time by roughly 29% on average (up to ~52%), PR2 and
+AR2 alone help less, and a large gap to the ideal NoRR remains.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.common import (
+    DEFAULT_CONDITION_GRID,
+    FIGURE14_POLICIES,
+    default_experiment_config,
+    normalize_grid,
+    run_workload_grid,
+)
+from repro.experiments.reporting import ExperimentResult
+from repro.workloads.catalog import workload_names
+
+
+def run(workloads: Sequence[str] = None,
+        conditions: Sequence[Tuple[int, float]] = None,
+        num_requests: int = 600,
+        seed: int = 0,
+        config=None) -> ExperimentResult:
+    """Run the Figure 14 grid.
+
+    The defaults are sized for a laptop-scale run (a subset of conditions
+    and a few hundred requests per cell); pass the full grid and more
+    requests to tighten the statistics.
+    """
+    workloads = list(workloads or workload_names())
+    conditions = tuple(conditions or DEFAULT_CONDITION_GRID)
+    config = config or default_experiment_config()
+    grid = run_workload_grid(FIGURE14_POLICIES, workloads, conditions,
+                             num_requests=num_requests, config=config,
+                             seed=seed)
+    rows = list(normalize_grid(grid, baseline="Baseline"))
+
+    def mean_reduction(policy: str) -> float:
+        values = [1.0 - row["normalized_response_time"] for row in rows
+                  if row["policy"] == policy]
+        return float(np.mean(values)) if values else 0.0
+
+    def max_reduction(policy: str) -> float:
+        values = [1.0 - row["normalized_response_time"] for row in rows
+                  if row["policy"] == policy]
+        return float(max(values)) if values else 0.0
+
+    norr_rows = [row["normalized_response_time"] for row in rows
+                 if row["policy"] == "NoRR"]
+    pnar2_rows = [row["normalized_response_time"] for row in rows
+                  if row["policy"] == "PnAR2"]
+    gap_ratio = (float(np.mean(pnar2_rows)) / float(np.mean(norr_rows))
+                 if norr_rows and pnar2_rows else float("nan"))
+
+    headline = {
+        "PR2 mean response-time reduction": f"{mean_reduction('PR2'):.1%}",
+        "PR2 max response-time reduction": f"{max_reduction('PR2'):.1%}",
+        "AR2 mean response-time reduction": f"{mean_reduction('AR2'):.1%}",
+        "PnAR2 mean response-time reduction": f"{mean_reduction('PnAR2'):.1%}",
+        "PnAR2 max response-time reduction": f"{max_reduction('PnAR2'):.1%}",
+        "PnAR2 / NoRR mean response-time ratio": round(gap_ratio, 2),
+    }
+    return ExperimentResult(
+        name="fig14",
+        title="Figure 14: normalized SSD response time (PR2/AR2/PnAR2/NoRR)",
+        rows=rows,
+        headline=headline,
+        notes=[f"{len(workloads)} workloads x {len(conditions)} conditions x "
+               f"{num_requests} requests per cell on a scaled-down SSD; the "
+               "paper reports 17.7%/11.9%/28.9% average reductions for "
+               "PR2/AR2/PnAR2 and up to 51.8% for PnAR2"],
+    )
+
+
+def main() -> None:  # pragma: no cover
+    result = run(workloads=("usr_1", "YCSB-C", "stg_0"),
+                 conditions=((0, 0.0), (1000, 6.0), (2000, 12.0)),
+                 num_requests=400)
+    print(result.to_text(max_rows=80))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,75 @@
+"""Shared result container and plain-text rendering for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ExperimentResult:
+    """Tabular result of one experiment.
+
+    :param name: experiment identifier (``"fig05"`` etc.).
+    :param title: human-readable title referencing the paper artifact.
+    :param rows: list of dict rows; all rows share the same keys.
+    :param headline: the headline numbers the paper quotes in prose, used by
+        EXPERIMENTS.md and the regression tests.
+    :param notes: free-form caveats (e.g. reduced sample counts).
+    """
+
+    name: str
+    title: str
+    rows: List[dict] = field(default_factory=list)
+    headline: Dict[str, object] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def columns(self) -> List[str]:
+        if not self.rows:
+            return []
+        return list(self.rows[0].keys())
+
+    def column(self, key: str) -> List[object]:
+        return [row[key] for row in self.rows]
+
+    def filter_rows(self, **criteria) -> List[dict]:
+        """Rows matching all the given column values."""
+        matched = []
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in criteria.items()):
+                matched.append(row)
+        return matched
+
+    # -- rendering ---------------------------------------------------------------
+    def to_text(self, max_rows: Optional[int] = None) -> str:
+        """Render the result as a fixed-width text table."""
+        lines = [self.title, "=" * len(self.title)]
+        if self.headline:
+            lines.append("")
+            lines.append("Headline numbers:")
+            for key, value in self.headline.items():
+                lines.append(f"  - {key}: {value}")
+        if self.rows:
+            lines.append("")
+            columns = self.columns()
+            rows = self.rows if max_rows is None else self.rows[:max_rows]
+            widths = {column: max(len(str(column)),
+                                  *(len(str(row[column])) for row in rows))
+                      for column in columns}
+            header = "  ".join(str(column).ljust(widths[column])
+                               for column in columns)
+            lines.append(header)
+            lines.append("-" * len(header))
+            for row in rows:
+                lines.append("  ".join(str(row[column]).ljust(widths[column])
+                                       for column in columns))
+            if max_rows is not None and len(self.rows) > max_rows:
+                lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        if self.notes:
+            lines.append("")
+            for note in self.notes:
+                lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_text(max_rows=30)

@@ -1,0 +1,79 @@
+"""Command-line entry point: ``repro-experiment <name> [--fast] [--out FILE]``.
+
+Runs one experiment (or ``all``) and prints its table; ``--fast`` shrinks the
+population/request counts so the full suite completes in a few minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Dict, List, Optional
+
+from repro.experiments import EXPERIMENT_NAMES
+from repro.experiments.reporting import ExperimentResult
+
+#: Reduced parameters used by ``--fast``.
+_FAST_OVERRIDES: Dict[str, dict] = {
+    "fig05": {"num_chips": 4, "blocks_per_chip": 2, "wordlines_per_block": 1},
+    "fig07": {"num_chips": 4, "blocks_per_chip": 2, "wordlines_per_block": 1},
+    "fig08": {"num_chips": 3, "blocks_per_chip": 2},
+    "fig09": {"num_chips": 3, "blocks_per_chip": 2},
+    "fig10": {"num_chips": 3, "blocks_per_chip": 2},
+    "fig14": {"workloads": ("usr_1", "YCSB-C", "stg_0"),
+              "conditions": ((0, 0.0), (1000, 6.0), (2000, 12.0)),
+              "num_requests": 300},
+    "fig15": {"workloads": ("usr_1", "YCSB-C", "stg_0"),
+              "conditions": ((1000, 6.0), (2000, 12.0)),
+              "num_requests": 300},
+    "table2": {"num_requests": 800, "footprint_pages": 8000},
+}
+
+
+def run_experiment(name: str, fast: bool = False, **overrides) -> ExperimentResult:
+    """Run one experiment by name and return its result."""
+    if name not in EXPERIMENT_NAMES:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {EXPERIMENT_NAMES}")
+    module = importlib.import_module(f"repro.experiments.{name}")
+    kwargs = dict(_FAST_OVERRIDES.get(name, {})) if fast else {}
+    kwargs.update(overrides)
+    return module.run(**kwargs)
+
+
+def run_all(fast: bool = True) -> List[ExperimentResult]:
+    """Run the full suite (fast parameters by default)."""
+    return [run_experiment(name, fast=fast) for name in EXPERIMENT_NAMES]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Regenerate a table or figure of the read-retry paper.")
+    parser.add_argument("experiment", choices=list(EXPERIMENT_NAMES) + ["all"],
+                        help="experiment to run")
+    parser.add_argument("--fast", action="store_true",
+                        help="use reduced population / request counts")
+    parser.add_argument("--max-rows", type=int, default=None,
+                        help="limit the number of printed rows")
+    parser.add_argument("--out", type=str, default=None,
+                        help="also write the rendered table(s) to this file")
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENT_NAMES) if args.experiment == "all" else [args.experiment]
+    outputs = []
+    for name in names:
+        result = run_experiment(name, fast=args.fast)
+        text = result.to_text(max_rows=args.max_rows)
+        outputs.append(text)
+        print(text)
+        print()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write("\n\n".join(outputs) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Table 1: NAND flash timing parameters of the simulated SSD."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import ExperimentResult
+from repro.nand.timing import TimingParameters
+
+
+def run(timing: TimingParameters = None) -> ExperimentResult:
+    """Render Table 1 (all values in microseconds, tBERS in ms in the paper)."""
+    timing = timing or TimingParameters()
+    table = timing.table1()
+    rows = [{"parameter": name, "time_us": value} for name, value in table.items()]
+    return ExperimentResult(
+        name="table1",
+        title="Table 1: NAND flash timing parameters",
+        rows=rows,
+        headline={
+            "tR (avg.) [us]": table["tR (avg.)"],
+            "tPRE:tEVAL:tDISCH": f"{timing.read.t_pre_us:g}:"
+                                 f"{timing.read.t_eval_us:g}:"
+                                 f"{timing.read.t_disch_us:g}",
+            "tPROG [us]": table["tPROG"],
+            "tBERS [us]": table["tBERS"],
+        },
+    )
+
+
+def main() -> None:  # pragma: no cover - convenience entry point
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

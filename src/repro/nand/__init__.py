@@ -1,0 +1,43 @@
+"""Behavioural model of 3D TLC NAND flash memory.
+
+The subpackage models the pieces of a NAND flash chip that the paper's
+techniques interact with:
+
+* :mod:`repro.nand.geometry` — the physical organization (chip / die / plane /
+  block / wordline / page) and address arithmetic.
+* :mod:`repro.nand.timing` — read/program/erase timing parameters, including
+  the three read phases (precharge, evaluation, discharge) whose durations
+  AR2 manipulates, and Table 1 of the paper.
+* :mod:`repro.nand.voltage` — threshold-voltage states, read-reference
+  voltages, Gray coding of TLC pages and the manufacturer read-retry table.
+* :mod:`repro.nand.commands` — the command set (PAGE READ, CACHE READ,
+  SET FEATURE, RESET, PROGRAM, ERASE) with per-command protocol overheads.
+* :mod:`repro.nand.chip` — a behavioural chip that executes commands against
+  the error model, tracks busy/ready state, page buffers (for CACHE READ) and
+  the currently active timing parameters (for SET FEATURE).
+"""
+
+from repro.nand.geometry import (
+    ChipGeometry,
+    PageAddress,
+    PageType,
+)
+from repro.nand.timing import ReadTimingParameters, TimingParameters
+from repro.nand.voltage import ReadRetryTable, ReadReferenceSet, TLC_GRAY_CODE
+from repro.nand.commands import Command, CommandKind
+from repro.nand.chip import NandChip, ReadResult
+
+__all__ = [
+    "ChipGeometry",
+    "PageAddress",
+    "PageType",
+    "ReadTimingParameters",
+    "TimingParameters",
+    "ReadRetryTable",
+    "ReadReferenceSet",
+    "TLC_GRAY_CODE",
+    "Command",
+    "CommandKind",
+    "NandChip",
+    "ReadResult",
+]

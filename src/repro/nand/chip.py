@@ -1,0 +1,342 @@
+"""Behavioural model of a 3D TLC NAND flash chip.
+
+The chip executes the command set of :mod:`repro.nand.commands` against the
+error models of :mod:`repro.errors`:
+
+* it tracks per-block state (P/E-cycle count, programming order, retention
+  age of the stored data),
+* it honours SET FEATURE commands that install reduced read-timing
+  parameters (the mechanism AR2 uses) and RESET commands that terminate an
+  ongoing operation (the mechanism PR2 uses to cancel the speculatively
+  issued retry step),
+* PAGE READ / CACHE READ commands return the number of raw bit errors in the
+  worst codeword of the page, sampled from the calibrated error model, plus
+  the chip-level latency of the operation,
+* it keeps a cache register so that CACHE READ commands can overlap the
+  sensing of the next read with the data transfer of the previous one.
+
+The chip model deliberately does not store page *contents*: every behaviour
+the paper studies is a function of error counts and latencies, so storing
+16 KiB of data per page would only cost memory.  (The FTL of the SSD
+simulator tracks logical-to-physical mappings separately.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nand.commands import Command, CommandKind
+from repro.nand.geometry import ChipGeometry, PageAddress, PageType
+from repro.nand.timing import ReadTimingParameters, TimingParameters
+from repro.nand.voltage import ReadRetryTable
+
+
+class ChipError(Exception):
+    """Raised when a command violates the chip's operating constraints."""
+
+
+@dataclass
+class BlockState:
+    """Mutable state of one physical block."""
+
+    pe_cycles: int = 0
+    #: Index of the next page that may be programmed (NAND requires in-order
+    #: programming within a block).
+    next_page: int = 0
+    #: Retention age (months at 30 degC) of the data stored in the block.
+    retention_months: float = 0.0
+    #: Whether the block currently holds valid (programmed) data.
+    programmed: bool = False
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Outcome of a single page-sensing operation.
+
+    :param max_codeword_errors: raw bit errors of the worst ECC codeword in
+        the page (the codeword that determines whether the read fails).
+    :param correctable: whether every codeword is within the ECC capability.
+    :param sensing_latency_us: chip-level ``tR`` of this read, reflecting the
+        timing parameters that were active when it executed.
+    :param reference_shift_mv: the V_REF shift that was applied.
+    :param page_type: LSB/CSB/MSB type of the page that was read.
+    """
+
+    max_codeword_errors: int
+    correctable: bool
+    sensing_latency_us: float
+    reference_shift_mv: float
+    page_type: PageType
+
+
+@dataclass(frozen=True)
+class RetryReadResult:
+    """Outcome of a full read including the read-retry operation."""
+
+    retry_steps: int
+    succeeded: bool
+    final_errors: int
+    total_sensing_latency_us: float
+    results: Tuple[ReadResult, ...] = field(repr=False, default=())
+
+
+class NandChip:
+    """A behavioural 3D TLC NAND flash chip.
+
+    :param geometry: physical dimensions (defaults to the simulated chip of
+        Section 7.1).
+    :param chip_id: identifier used to derive this chip's process variation.
+    :param timing: full timing parameter set (Table 1 defaults).
+    :param error_model: a :class:`repro.errors.rber.CodewordErrorModel`; the
+        calibrated default is used when omitted.
+    :param retry_table: manufacturer read-retry table.
+    :param ecc_capability: correctable bits per codeword (72 by default).
+    :param temperature_c: ambient temperature of the chip.
+    :param seed: seed of the chip's process variation and error sampling.
+    :param codewords_per_read: how many codewords to sample per page read.
+        The default uses the geometry's real codeword count (16); the
+        characterization platform lowers it to 1 for speed because it studies
+        per-codeword quantities.
+    """
+
+    def __init__(self,
+                 geometry: ChipGeometry = None,
+                 chip_id: int = 0,
+                 timing: TimingParameters = None,
+                 error_model=None,
+                 retry_table: ReadRetryTable = None,
+                 ecc_capability: int = None,
+                 temperature_c: float = 30.0,
+                 seed: int = 0,
+                 codewords_per_read: int = None):
+        # Imported lazily to avoid a circular import with repro.errors, whose
+        # modules import the voltage/geometry helpers of this package.
+        from repro.errors.calibration import ECC_CALIBRATION
+        from repro.errors.rber import CodewordErrorModel
+        from repro.errors.variation import ProcessVariation
+
+        self.geometry = geometry or ChipGeometry()
+        self.chip_id = int(chip_id)
+        self.timing = timing or TimingParameters()
+        self.error_model = error_model or CodewordErrorModel()
+        self.retry_table = retry_table or ReadRetryTable()
+        self.ecc_capability = (ecc_capability if ecc_capability is not None
+                               else ECC_CALIBRATION.capability_bits)
+        self.temperature_c = float(temperature_c)
+        self._variation = ProcessVariation(seed=seed)
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=seed, spawn_key=(self.chip_id,)))
+        self._blocks: Dict[Tuple[int, int, int], BlockState] = {}
+        self._active_read_timing: ReadTimingParameters = self.timing.read
+        self._cache_register: Optional[PageAddress] = None
+        if codewords_per_read is None:
+            codewords_per_read = self.geometry.codewords_per_page
+        if codewords_per_read < 1:
+            raise ValueError("codewords_per_read must be at least 1")
+        self.codewords_per_read = codewords_per_read
+
+    # -- block state ----------------------------------------------------------
+    def block_state(self, address: PageAddress) -> BlockState:
+        """The mutable state of the block containing ``address``."""
+        return self._blocks.setdefault(address.block_key(), BlockState())
+
+    def set_block_condition(self, address: PageAddress, pe_cycles: int = None,
+                            retention_months: float = None,
+                            programmed: bool = None) -> None:
+        """Directly install a block's operating condition.
+
+        The characterization platform uses this to emulate P/E cycling and
+        accelerated retention baking without executing millions of program
+        and erase commands.
+        """
+        state = self.block_state(address)
+        if pe_cycles is not None:
+            if pe_cycles < 0:
+                raise ValueError("pe_cycles must be non-negative")
+            state.pe_cycles = int(pe_cycles)
+        if retention_months is not None:
+            if retention_months < 0:
+                raise ValueError("retention_months must be non-negative")
+            state.retention_months = float(retention_months)
+        if programmed is not None:
+            state.programmed = bool(programmed)
+            if programmed:
+                state.next_page = self.geometry.pages_per_block
+
+    def age_blocks(self, additional_months: float) -> None:
+        """Advance the retention age of every programmed block."""
+        if additional_months < 0:
+            raise ValueError("additional_months must be non-negative")
+        for state in self._blocks.values():
+            if state.programmed:
+                state.retention_months += additional_months
+
+    def condition_for(self, address: PageAddress):
+        """The :class:`OperatingCondition` a read of ``address`` experiences."""
+        from repro.errors.condition import OperatingCondition
+
+        state = self.block_state(address)
+        return OperatingCondition(pe_cycles=state.pe_cycles,
+                                  retention_months=state.retention_months,
+                                  temperature_c=self.temperature_c)
+
+    # -- feature / reset -------------------------------------------------------
+    @property
+    def active_read_timing(self) -> ReadTimingParameters:
+        """The read-phase timing parameters currently installed."""
+        return self._active_read_timing
+
+    def set_feature(self, read_timing: ReadTimingParameters = None) -> float:
+        """Install new read-timing parameters; returns the command latency."""
+        self._active_read_timing = read_timing or self.timing.read
+        return self.timing.t_set_feature_us
+
+    def reset(self) -> float:
+        """Terminate the ongoing operation (PR2's cancellation command)."""
+        self._cache_register = None
+        return self.timing.t_reset_read_us
+
+    # -- program / erase -------------------------------------------------------
+    def program_page(self, address: PageAddress) -> float:
+        """Program a page; returns ``tPROG``.
+
+        Pages of a block must be programmed in order (erase-before-write,
+        Section 2.2); programming resets the block's retention age.
+        """
+        state = self.block_state(address)
+        if address.page != state.next_page:
+            raise ChipError(
+                f"out-of-order program: block expects page {state.next_page}, "
+                f"got {address.page}")
+        state.next_page += 1
+        state.programmed = True
+        state.retention_months = 0.0
+        return self.timing.t_prog_us
+
+    def erase_block(self, address: PageAddress) -> float:
+        """Erase the block containing ``address``; returns ``tBERS``."""
+        state = self.block_state(address)
+        state.pe_cycles += 1
+        state.next_page = 0
+        state.programmed = False
+        state.retention_months = 0.0
+        return self.timing.t_bers_us
+
+    # -- reads ------------------------------------------------------------------
+    def read_page(self, address: PageAddress, reference_shift_mv: float = 0.0,
+                  timing_reduction=None, cache: bool = False) -> ReadResult:
+        """Sense one page and report the worst codeword's raw bit errors.
+
+        :param reference_shift_mv: uniform V_REF shift of this read (0 for a
+            regular read; retry steps use the retry table's shifts).
+        :param timing_reduction: optional explicit
+            :class:`repro.errors.timing.TimingReduction`; when omitted, the
+            reduction implied by the currently installed timing parameters
+            (SET FEATURE) is used.
+        :param cache: whether this is a CACHE READ (the sensed page is held
+            in the cache register; latency bookkeeping of the pipelining is
+            done by the SSD simulator / latency model).
+        """
+        from repro.errors.timing import TimingReduction
+
+        condition = self.condition_for(address)
+        variation = self._variation.sample(chip=self.chip_id,
+                                           block=self.geometry.flat_block_index(
+                                               address.die, address.plane,
+                                               address.block),
+                                           wordline=address.wordline)
+        if timing_reduction is None:
+            timing_reduction = TimingReduction.from_parameters(
+                self._active_read_timing, self.timing.read)
+
+        worst = 0
+        for _ in range(self.codewords_per_read):
+            errors = self.error_model.sample_errors(
+                condition, address.page_type, self._rng,
+                reference_shift_mv=reference_shift_mv,
+                variation=variation, timing_reduction=timing_reduction)
+            worst = max(worst, errors)
+
+        latency = self._active_read_timing.sensing_latency_us(address.page_type)
+        if cache:
+            self._cache_register = address
+        return ReadResult(max_codeword_errors=worst,
+                          correctable=worst <= self.ecc_capability,
+                          sensing_latency_us=latency,
+                          reference_shift_mv=reference_shift_mv,
+                          page_type=address.page_type)
+
+    def read_with_retry(self, address: PageAddress,
+                        timing_reduction=None,
+                        retry_timing_reduction=None,
+                        max_steps: int = None) -> RetryReadResult:
+        """Perform a full read: initial read plus the read-retry operation.
+
+        The initial read always uses the default read-reference voltages; if
+        it is uncorrectable, retry steps walk the read-retry table until the
+        page decodes or the table is exhausted (Section 2.4).  AR2-style
+        behaviour is obtained by passing a ``retry_timing_reduction`` that
+        applies only to the retry steps.
+        """
+        results = []
+        result = self.read_page(address, 0.0, timing_reduction)
+        results.append(result)
+        total_latency = result.sensing_latency_us
+        if result.correctable:
+            return RetryReadResult(retry_steps=0, succeeded=True,
+                                   final_errors=result.max_codeword_errors,
+                                   total_sensing_latency_us=total_latency,
+                                   results=tuple(results))
+
+        if retry_timing_reduction is None:
+            retry_timing_reduction = timing_reduction
+        limit = max_steps or self.retry_table.num_entries
+        for step in self.retry_table.steps():
+            if step > limit:
+                break
+            result = self.read_page(
+                address, self.retry_table.shift_for_step(step),
+                retry_timing_reduction)
+            results.append(result)
+            total_latency += result.sensing_latency_us
+            if result.correctable:
+                return RetryReadResult(retry_steps=step, succeeded=True,
+                                       final_errors=result.max_codeword_errors,
+                                       total_sensing_latency_us=total_latency,
+                                       results=tuple(results))
+        return RetryReadResult(retry_steps=len(results) - 1, succeeded=False,
+                               final_errors=results[-1].max_codeword_errors,
+                               total_sensing_latency_us=total_latency,
+                               results=tuple(results))
+
+    # -- generic command interface ----------------------------------------------
+    def execute(self, command: Command):
+        """Execute a command; returns ``(latency_us, result_or_None)``.
+
+        This is the interface the SSD simulator's flash backend and the
+        characterization platform use; the dedicated methods above are
+        convenience wrappers around the same behaviour.
+        """
+        if command.kind is CommandKind.PAGE_READ:
+            result = self.read_page(command.address,
+                                    command.read_reference_shift_mv)
+            return result.sensing_latency_us, result
+        if command.kind is CommandKind.CACHE_READ:
+            result = self.read_page(command.address,
+                                    command.read_reference_shift_mv,
+                                    cache=True)
+            return result.sensing_latency_us, result
+        if command.kind is CommandKind.PROGRAM:
+            return self.program_page(command.address), None
+        if command.kind is CommandKind.ERASE:
+            return self.erase_block(command.address), None
+        if command.kind is CommandKind.SET_FEATURE:
+            return self.set_feature(command.read_timing), None
+        if command.kind is CommandKind.RESET:
+            return self.reset(), None
+        if command.kind is CommandKind.READ_STATUS:
+            return 0.0, self._cache_register
+        raise ChipError(f"unsupported command: {command.kind}")

@@ -1,0 +1,126 @@
+"""NAND flash command set.
+
+The paper's techniques rely on four commands beyond the basic PAGE READ /
+PROGRAM / ERASE:
+
+* ``CACHE READ`` — pipelines page sensing of the next read with the data
+  transfer of the previous one (Section 3.2.1).  PR2 uses it to pipeline the
+  consecutive retry steps of one read-retry operation.
+* ``SET FEATURE`` — dynamically changes read-timing parameters (Section 4).
+  AR2 uses it to install a reduced ``tPRE`` before a read-retry operation and
+  to roll it back afterwards.
+* ``RESET`` — terminates the on-going chip operation within ``tRST`` (5 us
+  for reads).  PR2 uses it to cancel the speculatively issued retry step once
+  ECC decoding succeeds.
+* ``READ STATUS`` — polls the chip's ready/busy state (modelled implicitly by
+  the simulator's event engine, provided here for completeness).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.nand.geometry import PageAddress
+from repro.nand.timing import ReadTimingParameters
+
+
+class CommandKind(enum.Enum):
+    """Kinds of commands a :class:`repro.nand.chip.NandChip` accepts."""
+
+    PAGE_READ = "page_read"
+    CACHE_READ = "cache_read"
+    PROGRAM = "program"
+    ERASE = "erase"
+    SET_FEATURE = "set_feature"
+    RESET = "reset"
+    READ_STATUS = "read_status"
+
+    @property
+    def is_read(self) -> bool:
+        return self in (CommandKind.PAGE_READ, CommandKind.CACHE_READ)
+
+    @property
+    def targets_page(self) -> bool:
+        return self in (CommandKind.PAGE_READ, CommandKind.CACHE_READ,
+                        CommandKind.PROGRAM)
+
+    @property
+    def targets_block(self) -> bool:
+        return self is CommandKind.ERASE
+
+
+_command_ids = itertools.count()
+
+
+@dataclass
+class Command:
+    """A single command issued to a NAND flash chip.
+
+    :param kind: command opcode.
+    :param address: target page (for reads/programs) or any page of the
+        target block (for erases).  ``None`` for SET FEATURE / RESET /
+        READ STATUS.
+    :param read_reference_shift_mv: shift applied to every read-reference
+        voltage of this read, in millivolts.  Retry steps re-issue the read
+        with the shift prescribed by the read-retry table.
+    :param read_timing: read-phase timing override carried by a SET FEATURE
+        command (``None`` means "restore the chip default").
+    :param command_id: monotonically increasing identifier, useful for
+        logging and for matching RESET commands to the operation they cancel.
+    """
+
+    kind: CommandKind
+    address: Optional[PageAddress] = None
+    read_reference_shift_mv: float = 0.0
+    read_timing: Optional[ReadTimingParameters] = None
+    command_id: int = field(default_factory=lambda: next(_command_ids))
+
+    def __post_init__(self) -> None:
+        if self.kind.targets_page and self.address is None:
+            raise ValueError(f"{self.kind.value} requires a page address")
+        if self.kind is CommandKind.ERASE and self.address is None:
+            raise ValueError("ERASE requires a block address")
+        if (self.kind is CommandKind.SET_FEATURE
+                and self.read_timing is None):
+            raise ValueError(
+                "SET_FEATURE requires read_timing (use reset_feature() to "
+                "restore defaults)")
+
+    @classmethod
+    def page_read(cls, address: PageAddress,
+                  shift_mv: float = 0.0) -> "Command":
+        """Build a basic PAGE READ command (optionally with shifted V_REF)."""
+        return cls(CommandKind.PAGE_READ, address,
+                   read_reference_shift_mv=shift_mv)
+
+    @classmethod
+    def cache_read(cls, address: PageAddress,
+                   shift_mv: float = 0.0) -> "Command":
+        """Build a CACHE READ command used to pipeline consecutive reads."""
+        return cls(CommandKind.CACHE_READ, address,
+                   read_reference_shift_mv=shift_mv)
+
+    @classmethod
+    def program(cls, address: PageAddress) -> "Command":
+        return cls(CommandKind.PROGRAM, address)
+
+    @classmethod
+    def erase(cls, address: PageAddress) -> "Command":
+        return cls(CommandKind.ERASE, address)
+
+    @classmethod
+    def set_feature(cls, read_timing: ReadTimingParameters) -> "Command":
+        """Install new read-timing parameters (AR2, step 2 of Figure 13)."""
+        return cls(CommandKind.SET_FEATURE, read_timing=read_timing)
+
+    @classmethod
+    def reset(cls) -> "Command":
+        """Terminate the on-going chip operation (PR2's cleanup command)."""
+        return cls(CommandKind.RESET)
+
+    @classmethod
+    def read_status(cls) -> "Command":
+        return cls(CommandKind.READ_STATUS)

@@ -1,0 +1,156 @@
+"""NAND flash timing parameters.
+
+The read latency of a NAND flash chip is determined by the three phases of
+the sensing mechanism described in Section 2.2 of the paper — precharge,
+evaluation and discharge — repeated ``N_SENSE`` times per page read
+(Equation (1)):
+
+``tR = N_SENSE * (tPRE + tEVAL + tDISCH)``
+
+The characterized chips use ``<tPRE, tEVAL, tDISCH> = <24 us, 5 us, 10 us>``
+(Section 4), and the simulated SSD uses the parameters of Table 1.  AR2
+reduces ``tPRE`` (and optionally the other phase timings) through the
+SET FEATURE command; all latencies in this module are expressed in
+microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.nand.geometry import PageType
+
+#: Default phase timings of the characterized chips, in microseconds.
+DEFAULT_TPRE_US = 24.0
+DEFAULT_TEVAL_US = 5.0
+DEFAULT_TDISCH_US = 10.0
+
+
+@dataclass(frozen=True)
+class ReadTimingParameters:
+    """The three read-phase timing parameters (in microseconds).
+
+    Instances are immutable; derive adjusted parameters with
+    :meth:`with_reduction`, which is how AR2 expresses "reduce tPRE by 40%".
+    """
+
+    t_pre_us: float = DEFAULT_TPRE_US
+    t_eval_us: float = DEFAULT_TEVAL_US
+    t_disch_us: float = DEFAULT_TDISCH_US
+
+    def __post_init__(self) -> None:
+        for name in ("t_pre_us", "t_eval_us", "t_disch_us"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def sense_cycle_us(self) -> float:
+        """Duration of one precharge/evaluation/discharge cycle."""
+        return self.t_pre_us + self.t_eval_us + self.t_disch_us
+
+    def sensing_latency_us(self, page_type: PageType) -> float:
+        """Chip-level read latency ``tR`` for a page type (Equation (1))."""
+        return page_type.n_sense * self.sense_cycle_us
+
+    def average_sensing_latency_us(self) -> float:
+        """``tR`` averaged over the three TLC page types (~90 us by default)."""
+        return sum(self.sensing_latency_us(pt) for pt in PageType) / len(PageType)
+
+    # -- derived/adjusted parameter sets ------------------------------------
+    def with_reduction(self, pre: float = 0.0, eval_: float = 0.0,
+                       disch: float = 0.0) -> "ReadTimingParameters":
+        """Return a copy with each phase reduced by the given fraction.
+
+        :param pre: fractional reduction of ``tPRE`` (0.4 means "40% shorter").
+        :param eval_: fractional reduction of ``tEVAL``.
+        :param disch: fractional reduction of ``tDISCH``.
+        """
+        for name, fraction in (("pre", pre), ("eval_", eval_), ("disch", disch)):
+            if not 0.0 <= fraction < 1.0:
+                raise ValueError(
+                    f"{name} reduction must be in [0, 1), got {fraction}")
+        return ReadTimingParameters(
+            t_pre_us=self.t_pre_us * (1.0 - pre),
+            t_eval_us=self.t_eval_us * (1.0 - eval_),
+            t_disch_us=self.t_disch_us * (1.0 - disch),
+        )
+
+    def reduction_from(self, default: "ReadTimingParameters") -> dict:
+        """Express this parameter set as fractional reductions of ``default``."""
+        return {
+            "pre": 1.0 - self.t_pre_us / default.t_pre_us,
+            "eval": 1.0 - self.t_eval_us / default.t_eval_us,
+            "disch": 1.0 - self.t_disch_us / default.t_disch_us,
+        }
+
+    def speedup_over(self, default: "ReadTimingParameters") -> float:
+        """Ratio of the default sense-cycle time to this one (>= 1 if faster)."""
+        return default.sense_cycle_us / self.sense_cycle_us
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Full chip timing parameters used by the SSD simulator (Table 1).
+
+    All values are microseconds.  ``read`` holds the three read-phase
+    parameters; the remaining fields cover programming, erasing, the
+    SET FEATURE command used by AR2 and the RESET command used by PR2, plus
+    the per-page DMA transfer time and per-codeword ECC decoding time of the
+    simulated controller (Section 7.1).
+    """
+
+    read: ReadTimingParameters = ReadTimingParameters()
+    t_prog_us: float = 700.0
+    t_bers_us: float = 5000.0
+    t_set_feature_us: float = 1.0
+    t_reset_read_us: float = 5.0
+    t_dma_page_us: float = 16.0
+    t_ecc_us: float = 20.0
+    program_suspend_us: float = 5.0
+    erase_suspend_us: float = 20.0
+
+    def __post_init__(self) -> None:
+        for name in ("t_prog_us", "t_bers_us", "t_set_feature_us",
+                     "t_reset_read_us", "t_dma_page_us", "t_ecc_us",
+                     "program_suspend_us", "erase_suspend_us"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    # -- convenience accessors (paper notation) ------------------------------
+    @property
+    def t_r_avg_us(self) -> float:
+        """Average page-sensing latency ``tR`` (about 90 us, Table 1)."""
+        return self.read.average_sensing_latency_us()
+
+    def t_r_us(self, page_type: PageType,
+               read_timing: ReadTimingParameters = None) -> float:
+        """Page-sensing latency for a page type with optional override timing."""
+        timing = read_timing if read_timing is not None else self.read
+        return timing.sensing_latency_us(page_type)
+
+    def t_transfer_us(self) -> float:
+        """Page data transfer latency ``tDMA`` (chip to controller)."""
+        return self.t_dma_page_us
+
+    def with_read(self, read: ReadTimingParameters) -> "TimingParameters":
+        """Return a copy with a different set of read-phase parameters."""
+        return replace(self, read=read)
+
+    def table1(self) -> dict:
+        """Render the parameters as the rows of Table 1 of the paper."""
+        return {
+            "tR (avg.)": round(self.t_r_avg_us, 1),
+            "tPRE": self.read.t_pre_us,
+            "tEVAL": self.read.t_eval_us,
+            "tDISCH": self.read.t_disch_us,
+            "tPROG": self.t_prog_us,
+            "tBERS": self.t_bers_us,
+            "tSET": self.t_set_feature_us,
+            "tRST": self.t_reset_read_us,
+            "tDMA": self.t_dma_page_us,
+            "tECC": self.t_ecc_us,
+        }
+
+
+#: The timing parameters of the simulated high-end SSD (Table 1).
+TABLE1_TIMING = TimingParameters()

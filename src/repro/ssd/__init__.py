@@ -1,0 +1,37 @@
+"""Event-driven multi-queue SSD simulator (MQSim-like).
+
+The paper evaluates PR2/AR2 by extending MQSim so that every simulated block
+reproduces the read-retry behaviour of a real characterized block
+(Section 7.1).  This subpackage implements the same methodology in Python:
+
+* :mod:`repro.ssd.config` — SSD organization and simulation parameters
+  (4 channels x 4 dies x 2 planes, 512-GiB class device by default, plus a
+  scaled-down configuration for tests).
+* :mod:`repro.ssd.engine` — the discrete-event core (event queue, clock).
+* :mod:`repro.ssd.request` — host requests and flash transactions.
+* :mod:`repro.ssd.ftl` — page-level address mapping, block allocation and
+  wear-aware free-block selection.
+* :mod:`repro.ssd.gc` — greedy garbage collection.
+* :mod:`repro.ssd.write_buffer` — the controller's write cache.
+* :mod:`repro.ssd.flash_backend` — per-block read-retry profiles derived from
+  the calibrated error model (the "each simulated block behaves like a real
+  characterized block" device model).
+* :mod:`repro.ssd.scheduler` — per-die transaction scheduling with read
+  priority (out-of-order I/O scheduling) and program/erase suspension.
+* :mod:`repro.ssd.controller` — the simulator that ties everything together.
+* :mod:`repro.ssd.metrics` — response-time and utilization statistics.
+"""
+
+from repro.ssd.config import SsdConfig
+from repro.ssd.request import HostRequest, RequestKind
+from repro.ssd.metrics import SimulationMetrics
+from repro.ssd.controller import SsdSimulator, SimulationResult
+
+__all__ = [
+    "SsdConfig",
+    "HostRequest",
+    "RequestKind",
+    "SimulationMetrics",
+    "SsdSimulator",
+    "SimulationResult",
+]

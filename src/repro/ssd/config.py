@@ -1,0 +1,123 @@
+"""SSD organization and simulation parameters.
+
+The defaults follow the evaluated SSD of Section 7.1: 4 channels, 4 dies per
+channel, 2 planes per die, 1,888 blocks per plane, 576 16-KiB pages per
+block (a 512-GiB class device), a 72-bit/1-KiB ECC engine with a 20 us decode
+latency, and a 16 us page transfer time.  Because a full-capacity device
+would need tens of millions of mapping entries, experiments normally use a
+proportionally scaled-down geometry (:meth:`SsdConfig.scaled`) — what matters
+for the read-retry study is the per-die behaviour and the relative load, not
+the absolute capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.nand.timing import TimingParameters
+
+
+@dataclass(frozen=True)
+class SsdConfig:
+    """Static configuration of a simulated SSD."""
+
+    channels: int = 4
+    dies_per_channel: int = 4
+    planes_per_die: int = 2
+    blocks_per_plane: int = 1888
+    pages_per_block: int = 576
+    page_size_kib: int = 16
+
+    #: NAND and controller timing parameters (Table 1).
+    timing: TimingParameters = field(default_factory=TimingParameters)
+
+    #: Fraction of physical capacity hidden from the host (over-provisioning).
+    overprovisioning: float = 0.07
+
+    #: Number of 16-KiB entries in the controller's write buffer.
+    write_buffer_pages: int = 256
+
+    #: Garbage collection starts when a plane's free blocks drop below this.
+    gc_free_block_threshold: int = 4
+
+    #: Whether the controller prioritizes reads over writes at each die
+    #: (out-of-order I/O scheduling, [36, 86]).
+    read_priority: bool = True
+
+    #: Whether an ongoing program/erase is suspended when a read arrives
+    #: (program/erase suspension, [50, 91]).
+    suspension: bool = True
+
+    #: Ambient temperature the SSD operates at.
+    temperature_c: float = 30.0
+
+    #: Seed of the per-block process variation of the flash backend.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("channels", "dies_per_channel", "planes_per_die",
+                     "blocks_per_plane", "pages_per_block", "page_size_kib",
+                     "write_buffer_pages"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if not 0.0 <= self.overprovisioning < 0.5:
+            raise ValueError("overprovisioning must be in [0, 0.5)")
+        if self.gc_free_block_threshold < 2:
+            raise ValueError("gc_free_block_threshold must be at least 2")
+
+    # -- derived sizes ------------------------------------------------------------
+    @property
+    def num_dies(self) -> int:
+        return self.channels * self.dies_per_channel
+
+    @property
+    def num_planes(self) -> int:
+        return self.num_dies * self.planes_per_die
+
+    @property
+    def physical_pages(self) -> int:
+        return self.num_planes * self.blocks_per_plane * self.pages_per_block
+
+    @property
+    def logical_pages(self) -> int:
+        """Host-visible pages after over-provisioning."""
+        return int(self.physical_pages * (1.0 - self.overprovisioning))
+
+    @property
+    def capacity_gib(self) -> float:
+        return self.logical_pages * self.page_size_kib / (1024.0 * 1024.0)
+
+    @property
+    def physical_capacity_gib(self) -> float:
+        return self.physical_pages * self.page_size_kib / (1024.0 * 1024.0)
+
+    # -- convenience constructors ---------------------------------------------------
+    @classmethod
+    def paper(cls, **overrides) -> "SsdConfig":
+        """The full-size configuration of Section 7.1 (about 512 GiB)."""
+        return cls(**overrides)
+
+    @classmethod
+    def scaled(cls, blocks_per_plane: int = 40, pages_per_block: int = 64,
+               **overrides) -> "SsdConfig":
+        """A proportionally scaled-down SSD for experiments and tests.
+
+        The channel/die/plane organization (and therefore all parallelism
+        and scheduling behaviour) is identical to the paper's device; only
+        the per-plane block count and block size shrink so that the mapping
+        tables stay small and full-trace simulations finish quickly.
+        """
+        return cls(blocks_per_plane=blocks_per_plane,
+                   pages_per_block=pages_per_block, **overrides)
+
+    @classmethod
+    def tiny(cls, **overrides) -> "SsdConfig":
+        """A minimal configuration for unit tests."""
+        defaults = dict(channels=2, dies_per_channel=2, planes_per_die=1,
+                        blocks_per_plane=16, pages_per_block=24,
+                        write_buffer_pages=32)
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    def with_timing(self, timing: TimingParameters) -> "SsdConfig":
+        return replace(self, timing=timing)

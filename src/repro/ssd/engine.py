@@ -1,0 +1,108 @@
+"""Discrete-event simulation core.
+
+A deliberately small event engine: a priority queue of timestamped events,
+each carrying a callback.  Events can be cancelled (lazily) which is how the
+die scheduler implements program/erase suspension — the original completion
+event of a suspended operation is invalidated and a new one is scheduled for
+the extended completion time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time_us: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventQueue.schedule`, used to cancel events."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time_us(self) -> float:
+        return self._event.time_us
+
+
+class EventQueue:
+    """A time-ordered queue of callbacks."""
+
+    def __init__(self):
+        self._heap = []
+        self._counter = itertools.count()
+        self._now_us = 0.0
+
+    @property
+    def now_us(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now_us
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(self, time_us: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run at ``time_us`` (must not be in the past)."""
+        if time_us < self._now_us - 1e-9:
+            raise ValueError(
+                f"cannot schedule event at {time_us} before now ({self._now_us})")
+        event = _ScheduledEvent(time_us=time_us, sequence=next(self._counter),
+                                callback=callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_after(self, delay_us: float,
+                       callback: Callable[[], None]) -> EventHandle:
+        if delay_us < 0:
+            raise ValueError("delay_us must be non-negative")
+        return self.schedule(self._now_us + delay_us, callback)
+
+    def step(self) -> bool:
+        """Run the next pending event; returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now_us = event.time_us
+            event.callback()
+            return True
+        return False
+
+    def run(self, until_us: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run events until exhaustion, a time limit, or an event budget.
+
+        :return: the number of events executed.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                break
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until_us is not None and event.time_us > until_us:
+                break
+            if not self.step():
+                break
+            executed += 1
+        return executed

@@ -1,0 +1,149 @@
+"""Per-block read-retry behaviour of the simulated flash.
+
+The paper extends MQSim so that "each simulated block operates exactly the
+same as one of the real blocks that we test", via a per-block lookup table of
+the number of read-retry steps at a given P/E-cycle count and retention age
+(Section 7.1).  This module plays that role against the calibrated error
+model:
+
+* every simulated block gets a process-variation sample (as if it were a
+  randomly drawn real block),
+* the number of retry steps a read needs — with the default timing
+  parameters and with the AR2-reduced ones — is computed from the error
+  model and memoized per (condition bin, page type, block corner),
+* AR2's rare fallback case (a page that no longer decodes with reduced
+  timings) surfaces naturally: the reduced-timing walk may need one more
+  step than the default-timing walk, or may fail entirely, in which case the
+  controller re-runs the read-retry operation with default timings
+  (Section 6.2, "Overhead").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.rpt import ReadTimingParameterTable
+from repro.errors.condition import OperatingCondition
+from repro.errors.rber import CodewordErrorModel
+from repro.errors.timing import TimingReduction
+from repro.errors.variation import ProcessVariation
+from repro.nand.geometry import PageType
+from repro.nand.voltage import ReadRetryTable
+from repro.ssd.config import SsdConfig
+from repro.ssd.ftl import PhysicalPage
+
+
+@dataclass(frozen=True)
+class ReadBehaviour:
+    """What the flash does for one read."""
+
+    retry_steps: int
+    #: Retry steps if the retry operation runs with the RPT-reduced tPRE.
+    retry_steps_reduced: int
+    #: True when the reduced-timing retry operation fails and AR2 must fall
+    #: back to a full default-timing retry operation (never observed in the
+    #: paper's characterization, but the mechanism handles it).
+    reduced_timing_fallback: bool
+
+
+class FlashBackend:
+    """Maps physical reads to retry-step counts using the error model."""
+
+    def __init__(self, config: SsdConfig,
+                 rpt: ReadTimingParameterTable = None,
+                 error_model: CodewordErrorModel = None,
+                 retry_table: ReadRetryTable = None):
+        self.config = config
+        self.error_model = error_model or CodewordErrorModel()
+        self.retry_table = retry_table or ReadRetryTable()
+        self._rpt = rpt
+        self._variation = ProcessVariation(seed=config.seed)
+        self._cache: Dict[Tuple, ReadBehaviour] = {}
+
+    @property
+    def rpt(self) -> ReadTimingParameterTable:
+        if self._rpt is None:
+            self._rpt = ReadTimingParameterTable.default()
+        return self._rpt
+
+    # -- per-block identity ----------------------------------------------------------
+    def block_variation(self, physical: PhysicalPage):
+        """The process-variation corner of the block containing ``physical``.
+
+        The (channel, die) pair is treated as the "chip" and the
+        (plane, block) pair as the block within it, so blocks of the same die
+        share a chip-level corner just like real silicon.
+        """
+        chip = physical.channel * self.config.dies_per_channel + physical.die
+        block = physical.plane * self.config.blocks_per_plane + physical.block
+        return self._variation.block_sample(chip=chip, block=block)
+
+    # -- main query --------------------------------------------------------------------
+    def read_behaviour(self, physical: PhysicalPage, page_type: PageType,
+                       pe_cycles: int, retention_months: float) -> ReadBehaviour:
+        """Retry-step counts for a read of ``physical`` under its condition."""
+        condition = OperatingCondition(
+            pe_cycles=pe_cycles,
+            retention_months=retention_months,
+            temperature_c=self.config.temperature_c)
+        variation = self.block_variation(physical)
+        key = self._cache_key(condition, page_type, variation)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        default_walk = self.error_model.walk_retry_table(
+            condition, page_type, table=self.retry_table, variation=variation)
+        default_steps = self._steps_or_table_limit(default_walk.retry_steps)
+
+        entry = self.rpt.entry_for(pe_cycles, retention_months)
+        if entry.pre_reduction > 0.0 and default_steps > 0:
+            reduction = TimingReduction(pre=entry.pre_reduction)
+            reduced_walk = self.error_model.walk_retry_table(
+                condition, page_type, table=self.retry_table,
+                variation=variation, retry_timing_reduction=reduction)
+            if reduced_walk.retry_steps is None:
+                # The reduced-timing retry operation failed: AR2 falls back
+                # to a full default-timing retry operation.
+                behaviour = ReadBehaviour(
+                    retry_steps=default_steps,
+                    retry_steps_reduced=default_steps,
+                    reduced_timing_fallback=True)
+            else:
+                behaviour = ReadBehaviour(
+                    retry_steps=default_steps,
+                    retry_steps_reduced=reduced_walk.retry_steps,
+                    reduced_timing_fallback=False)
+        else:
+            behaviour = ReadBehaviour(retry_steps=default_steps,
+                                      retry_steps_reduced=default_steps,
+                                      reduced_timing_fallback=False)
+
+        if len(self._cache) < 500_000:
+            self._cache[key] = behaviour
+        return behaviour
+
+    # -- helpers -------------------------------------------------------------------------
+    def _steps_or_table_limit(self, steps: Optional[int]) -> int:
+        """A failed read exhausted the whole table (footnote 13)."""
+        if steps is None:
+            return self.retry_table.num_entries
+        return steps
+
+    def _cache_key(self, condition: OperatingCondition, page_type: PageType,
+                   variation) -> Tuple:
+        """Coarse memoization key (condition and variation are quantized)."""
+        return (
+            condition.pe_cycles,
+            round(condition.retention_months, 2),
+            round(condition.temperature_c, 1),
+            page_type,
+            round(variation.shift_multiplier, 3),
+            round(variation.sigma_multiplier, 3),
+            round(variation.timing_multiplier, 3),
+        )
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)

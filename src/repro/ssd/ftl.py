@@ -1,0 +1,240 @@
+"""Flash translation layer: page-level mapping and block allocation.
+
+The FTL maps logical page numbers (LPNs) onto physical pages spread across
+every plane of the SSD (channel-first striping, so consecutive writes go to
+different dies and can proceed in parallel).  Each plane keeps one *active*
+block that absorbs new writes; when it fills, the wear-leveling allocator
+opens the free block with the lowest P/E-cycle count.
+
+The FTL also keeps the per-block metadata the read-retry study needs: the
+block's P/E-cycle count and, per page, the retention age of the stored data
+(pages written during preconditioning carry the experiment's cold-data
+retention age; pages rewritten at run time are fresh).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.nand.geometry import PAGE_TYPE_ORDER, PageType
+from repro.ssd.config import SsdConfig
+
+
+@dataclass(frozen=True)
+class PhysicalPage:
+    """Physical location of one page."""
+
+    channel: int
+    die: int
+    plane: int
+    block: int
+    page: int
+
+    def die_key(self) -> Tuple[int, int]:
+        return (self.channel, self.die)
+
+
+@dataclass
+class BlockMetadata:
+    """Mutable state of one physical block."""
+
+    block_id: int
+    pe_cycles: int = 0
+    next_free_page: int = 0
+    valid_count: int = 0
+    #: LPN stored in each page (``None`` = free or invalidated).
+    page_lpns: List[Optional[int]] = field(default_factory=list)
+    #: Retention age (months) of the data in each page.
+    page_retention_months: List[float] = field(default_factory=list)
+
+    def initialize(self, pages_per_block: int) -> None:
+        self.next_free_page = 0
+        self.valid_count = 0
+        self.page_lpns = [None] * pages_per_block
+        self.page_retention_months = [0.0] * pages_per_block
+
+    @property
+    def is_full(self) -> bool:
+        return self.next_free_page >= len(self.page_lpns)
+
+    @property
+    def invalid_count(self) -> int:
+        return self.next_free_page - self.valid_count
+
+
+class PlaneManager:
+    """Free-block pool, active block and block metadata of one plane."""
+
+    def __init__(self, config: SsdConfig, channel: int, die: int, plane: int):
+        self.config = config
+        self.channel = channel
+        self.die = die
+        self.plane = plane
+        self.blocks: List[BlockMetadata] = []
+        for block_id in range(config.blocks_per_plane):
+            metadata = BlockMetadata(block_id=block_id)
+            metadata.initialize(config.pages_per_block)
+            self.blocks.append(metadata)
+        self._free_blocks: List[int] = list(range(config.blocks_per_plane))
+        self._active_block: Optional[int] = None
+        self._filled_blocks: List[int] = []
+
+    # -- free-block pool ----------------------------------------------------------
+    @property
+    def free_block_count(self) -> int:
+        count = len(self._free_blocks)
+        if self._active_block is not None:
+            count += 1
+        return count
+
+    def needs_gc(self) -> bool:
+        return len(self._free_blocks) < self.config.gc_free_block_threshold
+
+    def _open_new_active_block(self) -> None:
+        if not self._free_blocks:
+            raise RuntimeError(
+                f"plane ({self.channel},{self.die},{self.plane}) ran out of "
+                "free blocks; garbage collection fell behind")
+        # Wear leveling: pick the free block with the lowest P/E-cycle count.
+        self._free_blocks.sort(key=lambda block_id: self.blocks[block_id].pe_cycles)
+        self._active_block = self._free_blocks.pop(0)
+
+    # -- page allocation -----------------------------------------------------------
+    def allocate_page(self, lpn: int, retention_months: float = 0.0) -> PhysicalPage:
+        """Allocate the next free page of the active block for ``lpn``."""
+        if self._active_block is None or self.blocks[self._active_block].is_full:
+            if self._active_block is not None:
+                self._filled_blocks.append(self._active_block)
+            self._open_new_active_block()
+        block = self.blocks[self._active_block]
+        page = block.next_free_page
+        block.page_lpns[page] = lpn
+        block.page_retention_months[page] = retention_months
+        block.next_free_page += 1
+        block.valid_count += 1
+        return PhysicalPage(self.channel, self.die, self.plane,
+                            self._active_block, page)
+
+    def invalidate(self, block_id: int, page: int) -> None:
+        block = self.blocks[block_id]
+        if block.page_lpns[page] is None:
+            return
+        block.page_lpns[page] = None
+        block.valid_count -= 1
+
+    def erase(self, block_id: int) -> None:
+        """Erase a block and return it to the free pool."""
+        block = self.blocks[block_id]
+        block.pe_cycles += 1
+        block.initialize(self.config.pages_per_block)
+        if block_id in self._filled_blocks:
+            self._filled_blocks.remove(block_id)
+        if block_id == self._active_block:
+            self._active_block = None
+        if block_id not in self._free_blocks:
+            self._free_blocks.append(block_id)
+
+    # -- GC victim selection ------------------------------------------------------------
+    def gc_victim(self) -> Optional[int]:
+        """Block with the most invalid pages among the full blocks (greedy)."""
+        candidates = [block_id for block_id in self._filled_blocks
+                      if self.blocks[block_id].is_full]
+        if (self._active_block is not None
+                and self.blocks[self._active_block].is_full):
+            candidates.append(self._active_block)
+        if not candidates:
+            return None
+        return max(candidates,
+                   key=lambda block_id: self.blocks[block_id].invalid_count)
+
+    def set_pe_cycles(self, pe_cycles: int) -> None:
+        for block in self.blocks:
+            block.pe_cycles = pe_cycles
+
+
+class FlashTranslationLayer:
+    """Page-level mapping FTL with channel-first striping."""
+
+    def __init__(self, config: SsdConfig):
+        self.config = config
+        self.planes: List[PlaneManager] = []
+        for channel in range(config.channels):
+            for die in range(config.dies_per_channel):
+                for plane in range(config.planes_per_die):
+                    self.planes.append(PlaneManager(config, channel, die, plane))
+        self._mapping: Dict[int, Tuple[int, int, int]] = {}
+        self._next_plane = 0
+
+    # -- lookups -----------------------------------------------------------------------
+    def plane_index(self, channel: int, die: int, plane: int) -> int:
+        return ((channel * self.config.dies_per_channel + die)
+                * self.config.planes_per_die + plane)
+
+    def plane_for(self, physical: PhysicalPage) -> PlaneManager:
+        return self.planes[self.plane_index(physical.channel, physical.die,
+                                            physical.plane)]
+
+    def lookup(self, lpn: int) -> Optional[PhysicalPage]:
+        """Physical location of a logical page (``None`` if never written)."""
+        entry = self._mapping.get(lpn)
+        if entry is None:
+            return None
+        plane_index, block, page = entry
+        plane = self.planes[plane_index]
+        return PhysicalPage(plane.channel, plane.die, plane.plane, block, page)
+
+    def is_mapped(self, lpn: int) -> bool:
+        return lpn in self._mapping
+
+    def page_type_of(self, physical: PhysicalPage) -> PageType:
+        return PAGE_TYPE_ORDER[physical.page % len(PAGE_TYPE_ORDER)]
+
+    def block_metadata(self, physical: PhysicalPage) -> BlockMetadata:
+        return self.plane_for(physical).blocks[physical.block]
+
+    def retention_months_of(self, physical: PhysicalPage) -> float:
+        return self.block_metadata(physical).page_retention_months[physical.page]
+
+    def pe_cycles_of(self, physical: PhysicalPage) -> int:
+        return self.block_metadata(physical).pe_cycles
+
+    # -- updates -------------------------------------------------------------------------
+    def write(self, lpn: int, retention_months: float = 0.0,
+              plane_index: int = None) -> Tuple[PhysicalPage, Optional[PhysicalPage]]:
+        """Map ``lpn`` to a newly allocated page.
+
+        :return: ``(new_physical_page, invalidated_physical_page_or_None)``.
+        """
+        if lpn < 0 or lpn >= self.config.logical_pages:
+            raise ValueError(f"LPN {lpn} outside the logical space")
+        old_physical = self.lookup(lpn)
+        if old_physical is not None:
+            self.plane_for(old_physical).invalidate(old_physical.block,
+                                                    old_physical.page)
+        if plane_index is None:
+            plane_index = self._next_plane
+            self._next_plane = (self._next_plane + 1) % len(self.planes)
+        plane = self.planes[plane_index]
+        physical = plane.allocate_page(lpn, retention_months)
+        self._mapping[lpn] = (plane_index, physical.block, physical.page)
+        return physical, old_physical
+
+    def set_uniform_pe_cycles(self, pe_cycles: int) -> None:
+        """Install the experiment's P/E-cycle count on every block."""
+        if pe_cycles < 0:
+            raise ValueError("pe_cycles must be non-negative")
+        for plane in self.planes:
+            plane.set_pe_cycles(pe_cycles)
+
+    # -- statistics ----------------------------------------------------------------------
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._mapping)
+
+    def total_free_blocks(self) -> int:
+        return sum(plane.free_block_count for plane in self.planes)
+
+    def planes_needing_gc(self) -> List[int]:
+        return [index for index, plane in enumerate(self.planes)
+                if plane.needs_gc()]

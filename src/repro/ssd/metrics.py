@@ -1,0 +1,133 @@
+"""Simulation statistics.
+
+The paper's primary metric is the average SSD response time (Figures 14 and
+15), normalized to the Baseline configuration.  This module collects
+per-request response times (split by read/write), retry-step statistics,
+per-die utilization and garbage-collection counters, and provides the
+normalization helpers the experiment harnesses use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class SimulationMetrics:
+    """Mutable collector of simulation statistics."""
+
+    read_response_times_us: List[float] = field(default_factory=list)
+    write_response_times_us: List[float] = field(default_factory=list)
+    retry_steps_per_read: List[int] = field(default_factory=list)
+    die_busy_us: Dict[tuple, float] = field(default_factory=dict)
+    host_reads: int = 0
+    host_writes: int = 0
+    host_programs: int = 0
+    gc_programs: int = 0
+    gc_erases: int = 0
+    reduced_timing_fallbacks: int = 0
+    simulated_time_us: float = 0.0
+
+    # -- recording -----------------------------------------------------------------
+    def record_read(self, response_us: float, retry_steps: int) -> None:
+        if response_us < 0:
+            raise ValueError("response_us must be non-negative")
+        self.read_response_times_us.append(response_us)
+        self.retry_steps_per_read.append(retry_steps)
+        self.host_reads += 1
+
+    def record_write(self, response_us: float) -> None:
+        if response_us < 0:
+            raise ValueError("response_us must be non-negative")
+        self.write_response_times_us.append(response_us)
+        self.host_writes += 1
+
+    def record_die_busy(self, die_key: tuple, busy_us: float) -> None:
+        self.die_busy_us[die_key] = self.die_busy_us.get(die_key, 0.0) + busy_us
+
+    # -- aggregate views -----------------------------------------------------------
+    @property
+    def all_response_times_us(self) -> List[float]:
+        return self.read_response_times_us + self.write_response_times_us
+
+    def mean_response_time_us(self, kind: str = "all") -> float:
+        values = self._select(kind)
+        return float(np.mean(values)) if values else 0.0
+
+    def percentile_response_time_us(self, percentile: float,
+                                    kind: str = "all") -> float:
+        values = self._select(kind)
+        if not values:
+            return 0.0
+        return float(np.percentile(values, percentile))
+
+    def max_response_time_us(self, kind: str = "all") -> float:
+        values = self._select(kind)
+        return float(max(values)) if values else 0.0
+
+    def mean_retry_steps(self) -> float:
+        if not self.retry_steps_per_read:
+            return 0.0
+        return float(np.mean(self.retry_steps_per_read))
+
+    def die_utilization(self) -> float:
+        """Average fraction of simulated time the dies were busy."""
+        if not self.die_busy_us or self.simulated_time_us <= 0:
+            return 0.0
+        busy = np.mean(list(self.die_busy_us.values()))
+        return float(min(1.0, busy / self.simulated_time_us))
+
+    def _select(self, kind: str) -> List[float]:
+        kind = kind.lower()
+        if kind == "read":
+            return self.read_response_times_us
+        if kind == "write":
+            return self.write_response_times_us
+        if kind == "all":
+            return self.all_response_times_us
+        raise ValueError("kind must be 'read', 'write' or 'all'")
+
+    # -- reporting ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        return {
+            "mean_response_us": round(self.mean_response_time_us(), 2),
+            "mean_read_response_us": round(self.mean_response_time_us("read"), 2),
+            "mean_write_response_us": round(self.mean_response_time_us("write"), 2),
+            "p99_response_us": round(self.percentile_response_time_us(99.0), 2),
+            "mean_retry_steps": round(self.mean_retry_steps(), 2),
+            "host_reads": self.host_reads,
+            "host_writes": self.host_writes,
+            "gc_programs": self.gc_programs,
+            "gc_erases": self.gc_erases,
+            "die_utilization": round(self.die_utilization(), 3),
+            "reduced_timing_fallbacks": self.reduced_timing_fallbacks,
+        }
+
+
+def normalized_response_times(results: Dict[str, "SimulationMetrics"],
+                              baseline: str = "Baseline",
+                              kind: str = "all") -> Dict[str, float]:
+    """Normalize mean response times to a baseline configuration.
+
+    This is the y-axis of Figures 14 and 15 (lower is better, Baseline = 1).
+    """
+    if baseline not in results:
+        raise KeyError(f"baseline {baseline!r} missing from results")
+    reference = results[baseline].mean_response_time_us(kind)
+    if reference <= 0:
+        raise ValueError("baseline mean response time is zero")
+    return {name: metrics.mean_response_time_us(kind) / reference
+            for name, metrics in results.items()}
+
+
+def improvement_over(results: Dict[str, "SimulationMetrics"], target: str,
+                     reference: str, kind: str = "all") -> float:
+    """Fractional response-time reduction of ``target`` relative to ``reference``."""
+    ref = results[reference].mean_response_time_us(kind)
+    tgt = results[target].mean_response_time_us(kind)
+    if ref <= 0:
+        raise ValueError("reference mean response time is zero")
+    return 1.0 - tgt / ref

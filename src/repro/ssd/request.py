@@ -1,0 +1,115 @@
+"""Host requests and flash transactions.
+
+A *host request* is what arrives over the (multi-queue) host interface: a
+read or write of one or more consecutive logical pages, stamped with an
+arrival time.  The controller splits it into per-page *flash transactions*
+that are scheduled independently on the dies; the request completes when its
+last transaction completes (reads) or when its data is accepted by the write
+buffer (writes).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class RequestKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+class TransactionKind(enum.Enum):
+    READ = "read"
+    PROGRAM = "program"
+    ERASE = "erase"
+    GC_READ = "gc_read"
+    GC_PROGRAM = "gc_program"
+
+    @property
+    def is_read(self) -> bool:
+        return self in (TransactionKind.READ, TransactionKind.GC_READ)
+
+    @property
+    def is_background(self) -> bool:
+        return self in (TransactionKind.GC_READ, TransactionKind.GC_PROGRAM,
+                        TransactionKind.ERASE)
+
+
+_request_ids = itertools.count()
+_transaction_ids = itertools.count()
+
+
+@dataclass
+class HostRequest:
+    """One host-issued I/O request."""
+
+    arrival_us: float
+    kind: RequestKind
+    start_lpn: int
+    page_count: int = 1
+    queue_id: int = 0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    # Filled in by the simulator.
+    completion_us: Optional[float] = None
+    pending_pages: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.arrival_us < 0:
+            raise ValueError("arrival_us must be non-negative")
+        if self.page_count <= 0:
+            raise ValueError("page_count must be positive")
+        if self.start_lpn < 0:
+            raise ValueError("start_lpn must be non-negative")
+        self.pending_pages = self.page_count
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is RequestKind.READ
+
+    @property
+    def lpns(self) -> List[int]:
+        return list(range(self.start_lpn, self.start_lpn + self.page_count))
+
+    @property
+    def response_time_us(self) -> Optional[float]:
+        if self.completion_us is None:
+            return None
+        return self.completion_us - self.arrival_us
+
+
+@dataclass
+class FlashTransaction:
+    """One page-granularity operation dispatched to a die."""
+
+    kind: TransactionKind
+    lpn: Optional[int]
+    channel: int
+    die: int
+    plane: int
+    block: int
+    page: int
+    issue_us: float
+    request: Optional[HostRequest] = None
+    transaction_id: int = field(default_factory=lambda: next(_transaction_ids))
+
+    # Filled in when the transaction is serviced.
+    service_start_us: Optional[float] = None
+    completion_us: Optional[float] = None
+    retry_steps: int = 0
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind.is_read
+
+    @property
+    def waiting_time_us(self) -> Optional[float]:
+        if self.service_start_us is None:
+            return None
+        return self.service_start_us - self.issue_us
+
+    def die_key(self) -> tuple:
+        return (self.channel, self.die)

@@ -1,0 +1,150 @@
+"""Per-die transaction scheduling.
+
+The baseline SSD of Section 7.1 is a high-end device that already employs
+two latency-hiding techniques orthogonal to read-retry:
+
+* *out-of-order I/O scheduling* — reads overtake queued programs/erases at
+  the same die, because read latency is what applications wait on;
+* *program/erase suspension* — an in-flight program or erase is suspended
+  when a read arrives, the read executes, and the suspended operation
+  resumes afterwards.
+
+Each die has one :class:`DieScheduler` holding a read queue and a
+write/erase queue.  Service times are provided by the controller (they
+depend on the read-retry policy); completion notifications flow back to the
+controller, which updates request state, the write buffer and GC.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+
+from repro.ssd.config import SsdConfig
+from repro.ssd.engine import EventHandle, EventQueue
+from repro.ssd.request import FlashTransaction, TransactionKind
+
+
+@dataclass
+class _ActiveOperation:
+    """The transaction a die is currently executing."""
+
+    transaction: FlashTransaction
+    start_us: float
+    service_us: float
+    handle: EventHandle
+    suspended_before: bool = False
+
+
+class DieScheduler:
+    """Schedules the transactions of one die."""
+
+    def __init__(self, die_key: tuple, config: SsdConfig, events: EventQueue,
+                 service_time_fn: Callable[[FlashTransaction], float],
+                 on_complete: Callable[[FlashTransaction], None]):
+        self.die_key = die_key
+        self.config = config
+        self.events = events
+        self.service_time_fn = service_time_fn
+        self.on_complete = on_complete
+        self.read_queue: Deque[FlashTransaction] = deque()
+        self.write_queue: Deque[FlashTransaction] = deque()
+        self.current: Optional[_ActiveOperation] = None
+        self.total_busy_us = 0.0
+        self.completed_transactions = 0
+        self.suspensions = 0
+
+    # -- queueing -----------------------------------------------------------------
+    def enqueue(self, transaction: FlashTransaction) -> None:
+        """Add a transaction; may trigger immediate service or a suspension."""
+        if transaction.is_read and self.config.read_priority:
+            self.read_queue.append(transaction)
+        else:
+            self.write_queue.append(transaction)
+
+        if self.current is None:
+            self._start_next()
+        elif (transaction.is_read and self.config.suspension
+              and self._current_is_suspendable()):
+            self._suspend_current()
+            self._start_next()
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.read_queue) + len(self.write_queue)
+
+    @property
+    def is_idle(self) -> bool:
+        return self.current is None and self.queue_depth == 0
+
+    # -- suspension ---------------------------------------------------------------
+    def _current_is_suspendable(self) -> bool:
+        active = self.current
+        if active is None or active.suspended_before:
+            return False
+        return active.transaction.kind in (TransactionKind.PROGRAM,
+                                           TransactionKind.GC_PROGRAM,
+                                           TransactionKind.ERASE)
+
+    def _suspend_current(self) -> None:
+        """Suspend the in-flight program/erase so a read can run first."""
+        active = self.current
+        active.handle.cancel()
+        now = self.events.now_us
+        elapsed = max(0.0, now - active.start_us)
+        remaining = max(0.0, active.service_us - elapsed)
+        if active.transaction.kind is TransactionKind.ERASE:
+            overhead = self.config.timing.erase_suspend_us
+        else:
+            overhead = self.config.timing.program_suspend_us
+        transaction = active.transaction
+        transaction.remaining_service_us = remaining + overhead
+        transaction.was_suspended = True
+        self.total_busy_us += elapsed
+        self.write_queue.appendleft(transaction)
+        self.current = None
+        self.suspensions += 1
+
+    # -- dispatch ------------------------------------------------------------------
+    def _next_transaction(self) -> Optional[FlashTransaction]:
+        if self.read_queue:
+            return self.read_queue.popleft()
+        if self.write_queue:
+            return self.write_queue.popleft()
+        return None
+
+    def _start_next(self) -> None:
+        if self.current is not None:
+            return
+        transaction = self._next_transaction()
+        if transaction is None:
+            return
+        self._start(transaction)
+
+    def _start(self, transaction: FlashTransaction) -> None:
+        now = self.events.now_us
+        remaining = getattr(transaction, "remaining_service_us", None)
+        if remaining is not None:
+            service = remaining
+        else:
+            service = self.service_time_fn(transaction)
+        if transaction.service_start_us is None:
+            transaction.service_start_us = now
+        handle = self.events.schedule_after(
+            service, lambda txn=transaction: self._complete(txn))
+        self.current = _ActiveOperation(transaction=transaction, start_us=now,
+                                        service_us=service, handle=handle)
+
+    def _complete(self, transaction: FlashTransaction) -> None:
+        active = self.current
+        if active is None or active.transaction is not transaction:
+            # A stale completion (the operation was suspended); ignore it.
+            return
+        now = self.events.now_us
+        self.total_busy_us += active.service_us
+        transaction.completion_us = now
+        self.current = None
+        self.completed_transactions += 1
+        self.on_complete(transaction)
+        self._start_next()

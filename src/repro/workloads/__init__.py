@@ -1,0 +1,41 @@
+"""Storage workloads: trace format and synthetic generators.
+
+The paper evaluates twelve block-I/O workloads (Table 2): six enterprise
+traces from the Microsoft Research Cambridge (MSRC) suite and six YCSB
+key-value workloads.  The original traces are not redistributable, so this
+subpackage provides:
+
+* :mod:`repro.workloads.trace` — a trace-record format plus a reader/writer
+  for the MSRC CSV layout, so the harness can also replay real traces when
+  they are available;
+* :mod:`repro.workloads.synthetic` — a parametric generator reproducing the
+  two characteristics the evaluation is sensitive to: the *read ratio* and
+  the *cold ratio* (fraction of reads whose target page is never updated and
+  therefore keeps a long retention age);
+* :mod:`repro.workloads.msrc` and :mod:`repro.workloads.ycsb` — presets that
+  shape the generic generator like the respective suites;
+* :mod:`repro.workloads.catalog` — Table 2 itself, mapping workload names to
+  their parameters.
+"""
+
+from repro.workloads.trace import TraceRecord, read_msrc_csv, records_to_requests, write_msrc_csv
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadShape
+from repro.workloads.catalog import (
+    WORKLOAD_CATALOG,
+    WorkloadSpec,
+    generate_workload,
+    workload_names,
+)
+
+__all__ = [
+    "TraceRecord",
+    "read_msrc_csv",
+    "write_msrc_csv",
+    "records_to_requests",
+    "SyntheticWorkload",
+    "WorkloadShape",
+    "WorkloadSpec",
+    "WORKLOAD_CATALOG",
+    "workload_names",
+    "generate_workload",
+]

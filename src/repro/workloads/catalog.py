@@ -1,0 +1,105 @@
+"""Table 2 of the paper: the twelve evaluated workloads.
+
+Each entry records the workload's suite, read ratio and cold ratio exactly as
+listed in Table 2, plus the generator preset used to synthesize an
+equivalent request stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.ssd.request import HostRequest
+from repro.workloads.msrc import make_msrc_workload
+from repro.workloads.ycsb import make_ycsb_workload
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One row of Table 2."""
+
+    name: str
+    suite: str  # "MSRC" or "YCSB"
+    read_ratio: float
+    cold_ratio: float
+    scan_heavy: bool = False
+
+    def __post_init__(self) -> None:
+        if self.suite not in ("MSRC", "YCSB"):
+            raise ValueError("suite must be 'MSRC' or 'YCSB'")
+        for name in ("read_ratio", "cold_ratio"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+    @property
+    def read_dominant(self) -> bool:
+        """The paper calls workloads with read ratio >= 0.75 read-dominant."""
+        return self.read_ratio >= 0.75
+
+    def build(self, footprint_pages: int, seed: int = 0,
+              mean_interarrival_us: float = None):
+        """Instantiate the synthetic generator for this workload."""
+        if self.suite == "MSRC":
+            kwargs = {}
+            if mean_interarrival_us is not None:
+                kwargs["mean_interarrival_us"] = mean_interarrival_us
+            return make_msrc_workload(self.read_ratio, self.cold_ratio,
+                                      footprint_pages, seed=seed, **kwargs)
+        kwargs = {"scan_heavy": self.scan_heavy}
+        if mean_interarrival_us is not None:
+            kwargs["mean_interarrival_us"] = mean_interarrival_us
+        return make_ycsb_workload(self.read_ratio, self.cold_ratio,
+                                  footprint_pages, seed=seed, **kwargs)
+
+
+#: Table 2, in the order the paper lists the workloads.
+WORKLOAD_CATALOG: Dict[str, WorkloadSpec] = {
+    "stg_0": WorkloadSpec("stg_0", "MSRC", read_ratio=0.15, cold_ratio=0.38),
+    "hm_0": WorkloadSpec("hm_0", "MSRC", read_ratio=0.36, cold_ratio=0.22),
+    "prn_1": WorkloadSpec("prn_1", "MSRC", read_ratio=0.75, cold_ratio=0.72),
+    "proj_1": WorkloadSpec("proj_1", "MSRC", read_ratio=0.89, cold_ratio=0.96),
+    "mds_1": WorkloadSpec("mds_1", "MSRC", read_ratio=0.92, cold_ratio=0.98),
+    "usr_1": WorkloadSpec("usr_1", "MSRC", read_ratio=0.96, cold_ratio=0.73),
+    "YCSB-A": WorkloadSpec("YCSB-A", "YCSB", read_ratio=0.98, cold_ratio=0.72),
+    "YCSB-B": WorkloadSpec("YCSB-B", "YCSB", read_ratio=0.99, cold_ratio=0.59),
+    "YCSB-C": WorkloadSpec("YCSB-C", "YCSB", read_ratio=0.99, cold_ratio=0.60),
+    "YCSB-D": WorkloadSpec("YCSB-D", "YCSB", read_ratio=0.98, cold_ratio=0.58),
+    "YCSB-E": WorkloadSpec("YCSB-E", "YCSB", read_ratio=0.99, cold_ratio=0.98,
+                           scan_heavy=True),
+    "YCSB-F": WorkloadSpec("YCSB-F", "YCSB", read_ratio=0.98, cold_ratio=0.87),
+}
+
+#: The paper splits Figure 14/15 into write-dominant and read-dominant groups.
+WRITE_DOMINANT_WORKLOADS: Tuple[str, ...] = ("stg_0", "hm_0")
+READ_DOMINANT_WORKLOADS: Tuple[str, ...] = tuple(
+    name for name in WORKLOAD_CATALOG if name not in WRITE_DOMINANT_WORKLOADS)
+
+
+def workload_names() -> List[str]:
+    """The twelve workload names in Table 2 order."""
+    return list(WORKLOAD_CATALOG)
+
+
+def generate_workload(name: str, num_requests: int, footprint_pages: int,
+                      seed: int = 0,
+                      mean_interarrival_us: float = None) -> List[HostRequest]:
+    """Generate a request stream for a named Table 2 workload."""
+    if name not in WORKLOAD_CATALOG:
+        raise KeyError(f"unknown workload {name!r}; "
+                       f"available: {workload_names()}")
+    spec = WORKLOAD_CATALOG[name]
+    workload = spec.build(footprint_pages, seed=seed,
+                          mean_interarrival_us=mean_interarrival_us)
+    return workload.generate(num_requests)
+
+
+def table2_rows() -> List[dict]:
+    """Table 2 rendered as printable rows."""
+    return [{
+        "workload": spec.name,
+        "suite": spec.suite,
+        "read_ratio": spec.read_ratio,
+        "cold_ratio": spec.cold_ratio,
+        "class": "read-dominant" if spec.read_dominant else "write-dominant",
+    } for spec in WORKLOAD_CATALOG.values()]

@@ -1,0 +1,140 @@
+"""Block I/O trace records and the MSRC CSV format.
+
+The MSRC enterprise traces [76] are CSV files with one request per line::
+
+    Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+
+where ``Timestamp`` counts 100-nanosecond Windows filetime ticks, ``Type``
+is ``Read`` or ``Write``, ``Offset`` and ``Size`` are in bytes.  This module
+reads and writes that layout and converts records into the simulator's
+page-granularity :class:`repro.ssd.request.HostRequest` objects.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, TextIO, Union
+
+from repro.ssd.request import HostRequest, RequestKind
+
+#: One MSRC timestamp tick is 100 ns = 0.1 us.
+TICKS_PER_MICROSECOND = 10.0
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One block-level I/O request."""
+
+    timestamp_us: float
+    is_read: bool
+    offset_bytes: int
+    size_bytes: int
+    hostname: str = "synthetic"
+    disk_number: int = 0
+
+    def __post_init__(self) -> None:
+        if self.timestamp_us < 0:
+            raise ValueError("timestamp_us must be non-negative")
+        if self.offset_bytes < 0:
+            raise ValueError("offset_bytes must be non-negative")
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+
+    @property
+    def kind(self) -> RequestKind:
+        return RequestKind.READ if self.is_read else RequestKind.WRITE
+
+
+def read_msrc_csv(source: Union[str, TextIO],
+                  max_records: Optional[int] = None) -> List[TraceRecord]:
+    """Parse an MSRC-format CSV trace into :class:`TraceRecord` objects."""
+    close = False
+    if isinstance(source, str):
+        handle = open(source, "r", newline="")
+        close = True
+    else:
+        handle = source
+    try:
+        records: List[TraceRecord] = []
+        reader = csv.reader(handle)
+        base_ticks: Optional[int] = None
+        for row in reader:
+            if not row or row[0].startswith("#"):
+                continue
+            if len(row) < 6:
+                raise ValueError(f"malformed MSRC row: {row!r}")
+            ticks = int(row[0])
+            if base_ticks is None:
+                base_ticks = ticks
+            timestamp_us = (ticks - base_ticks) / TICKS_PER_MICROSECOND
+            records.append(TraceRecord(
+                timestamp_us=timestamp_us,
+                hostname=row[1],
+                disk_number=int(row[2]),
+                is_read=row[3].strip().lower() == "read",
+                offset_bytes=int(row[4]),
+                size_bytes=int(row[5]),
+            ))
+            if max_records is not None and len(records) >= max_records:
+                break
+        return records
+    finally:
+        if close:
+            handle.close()
+
+
+def write_msrc_csv(records: Iterable[TraceRecord],
+                   destination: Union[str, TextIO]) -> int:
+    """Write records in the MSRC CSV layout; returns the number written."""
+    close = False
+    if isinstance(destination, str):
+        handle = open(destination, "w", newline="")
+        close = True
+    else:
+        handle = destination
+    try:
+        writer = csv.writer(handle)
+        count = 0
+        for record in records:
+            writer.writerow([
+                int(round(record.timestamp_us * TICKS_PER_MICROSECOND)),
+                record.hostname,
+                record.disk_number,
+                "Read" if record.is_read else "Write",
+                record.offset_bytes,
+                record.size_bytes,
+            ])
+            count += 1
+        return count
+    finally:
+        if close:
+            handle.close()
+
+
+def records_to_requests(records: Iterable[TraceRecord],
+                        page_size_bytes: int = 16 * 1024,
+                        logical_pages: Optional[int] = None) -> List[HostRequest]:
+    """Convert trace records into page-granularity host requests.
+
+    Offsets and sizes are rounded to whole pages (a partial page still costs
+    a full page read/program); when ``logical_pages`` is given, addresses are
+    wrapped into the simulated device's logical space.
+    """
+    if page_size_bytes <= 0:
+        raise ValueError("page_size_bytes must be positive")
+    requests: List[HostRequest] = []
+    for record in records:
+        start_lpn = record.offset_bytes // page_size_bytes
+        end_lpn = (record.offset_bytes + record.size_bytes - 1) // page_size_bytes
+        page_count = max(1, end_lpn - start_lpn + 1)
+        if logical_pages is not None:
+            start_lpn %= logical_pages
+            page_count = min(page_count, logical_pages)
+        requests.append(HostRequest(
+            arrival_us=record.timestamp_us,
+            kind=record.kind,
+            start_lpn=start_lpn,
+            page_count=page_count,
+        ))
+    return requests

@@ -1,0 +1,66 @@
+"""Tests for the analysis helpers."""
+
+import pytest
+
+from repro.analysis import (
+    bootstrap_confidence_interval,
+    format_table,
+    geometric_mean,
+    rows_to_csv,
+    summarize,
+)
+from repro.analysis.tables import save_rows
+
+
+class TestStats:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_validation(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_bootstrap_interval_contains_mean(self):
+        values = [10.0, 12.0, 11.0, 9.0, 13.0, 10.5]
+        low, high = bootstrap_confidence_interval(values, seed=1)
+        mean = sum(values) / len(values)
+        assert low <= mean <= high
+        assert low < high
+
+    def test_bootstrap_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([])
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([1.0], confidence=1.5)
+
+    def test_summarize(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats["count"] == 4
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestTables:
+    ROWS = [{"name": "a", "value": 1}, {"name": "bb", "value": 22}]
+
+    def test_format_table(self):
+        text = format_table(self.ROWS)
+        assert "name" in text and "bb" in text
+        assert format_table([]) == "(empty table)"
+
+    def test_rows_to_csv(self):
+        csv_text = rows_to_csv(self.ROWS)
+        assert csv_text.splitlines()[0] == "name,value"
+        assert rows_to_csv([]) == ""
+
+    def test_save_rows(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        count = save_rows(self.ROWS, str(path))
+        assert count == 2
+        assert path.read_text().startswith("name,value")

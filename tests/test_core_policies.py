@@ -1,0 +1,118 @@
+"""Tests for the read-retry policies of Section 7."""
+
+import pytest
+
+from repro.core.policies import (
+    AR2Policy,
+    BaselinePolicy,
+    NoRRPolicy,
+    PR2Policy,
+    PSOPolicy,
+    PnAR2Policy,
+    available_policies,
+    get_policy,
+    policy_suite,
+)
+from repro.errors.condition import OperatingCondition
+from repro.nand.geometry import PageType
+
+
+@pytest.fixture(scope="module")
+def aged():
+    return OperatingCondition(2000, 12.0, 30.0)
+
+
+class TestFactory:
+    def test_available_policies(self):
+        names = available_policies()
+        assert set(names) == {"Baseline", "PR2", "AR2", "PnAR2", "NoRR",
+                              "PSO", "PSO+PnAR2"}
+
+    def test_get_policy_case_insensitive(self):
+        assert isinstance(get_policy("baseline"), BaselinePolicy)
+        assert isinstance(get_policy("PnAr2"), PnAR2Policy)
+        assert get_policy("pso+pnar2").name == "PSO+PnAR2"
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            get_policy("turbo")
+
+    def test_policy_suite_shares_rpt(self, default_rpt):
+        suite = policy_suite(("AR2", "PnAR2"), rpt=default_rpt)
+        assert suite["AR2"].rpt is default_rpt
+        assert suite["PnAR2"].rpt is default_rpt
+
+
+class TestRetryStepBehaviour:
+    def test_baseline_keeps_required_steps(self, aged):
+        assert BaselinePolicy().effective_retry_steps(12, aged) == 12
+
+    def test_norr_never_retries(self, aged):
+        assert NoRRPolicy().effective_retry_steps(12, aged) == 0
+
+    def test_pso_reduces_steps_with_floor_of_three(self, aged):
+        pso = PSOPolicy()
+        # ~70% reduction but at least 3 steps when any retry is needed.
+        assert pso.effective_retry_steps(20, aged) == 6
+        assert pso.effective_retry_steps(8, aged) == 3
+        assert pso.effective_retry_steps(2, aged) == 2
+        assert pso.effective_retry_steps(0, aged) == 0
+
+    def test_negative_steps_rejected(self, aged):
+        with pytest.raises(ValueError):
+            BaselinePolicy().effective_retry_steps(-1, aged)
+
+    def test_pso_validation(self):
+        with pytest.raises(ValueError):
+            PSOPolicy(mechanism="warp")
+        with pytest.raises(ValueError):
+            PSOPolicy(step_fraction=0.0)
+        with pytest.raises(ValueError):
+            PSOPolicy(min_steps=0)
+
+
+class TestLatencyOrdering:
+    def test_policy_ordering_for_aged_reads(self, aged, default_rpt):
+        steps = 15
+        suite = policy_suite(("Baseline", "PR2", "AR2", "PnAR2", "NoRR"),
+                             rpt=default_rpt)
+        responses = {name: policy.read_breakdown(steps, PageType.CSB, aged).response_us
+                     for name, policy in suite.items()}
+        assert (responses["NoRR"] < responses["PnAR2"] < responses["PR2"]
+                < responses["Baseline"])
+        assert responses["AR2"] < responses["Baseline"]
+
+    def test_no_retry_read_is_identical_across_policies(self, default_rpt):
+        fresh = OperatingCondition(0, 0.0, 30.0)
+        suite = policy_suite(("Baseline", "PR2", "AR2", "PnAR2"), rpt=default_rpt)
+        responses = {name: policy.read_breakdown(0, PageType.MSB, fresh).response_us
+                     for name, policy in suite.items()}
+        assert len(set(round(value, 6) for value in responses.values())) == 1
+
+    def test_ar2_uses_rpt_reduction(self, aged, default_rpt):
+        policy = AR2Policy(rpt=default_rpt)
+        reduced = policy.reduced_timing_for(aged)
+        entry = default_rpt.entry_for(aged.pe_cycles, aged.retention_months)
+        assert reduced.t_pre_us == pytest.approx(entry.t_pre_us)
+
+    def test_uses_reduced_timing_flags(self):
+        assert not BaselinePolicy().uses_reduced_timing
+        assert not PR2Policy().uses_reduced_timing
+        assert AR2Policy().uses_reduced_timing
+        assert PnAR2Policy().uses_reduced_timing
+        assert not PSOPolicy().uses_reduced_timing
+        assert PSOPolicy(mechanism="pnar2").uses_reduced_timing
+
+    def test_pso_pnar2_faster_than_pso(self, aged, default_rpt):
+        pso = PSOPolicy(rpt=default_rpt)
+        combined = PSOPolicy(rpt=default_rpt, mechanism="pnar2")
+        steps = 20
+        assert (combined.read_breakdown(steps, PageType.CSB, aged).response_us
+                < pso.read_breakdown(steps, PageType.CSB, aged).response_us)
+
+    def test_breakdown_step_counts(self, aged, default_rpt):
+        pso = PSOPolicy(rpt=default_rpt)
+        breakdown = pso.read_breakdown(20, PageType.CSB, aged)
+        assert breakdown.retry_steps == 6
+        norr = NoRRPolicy().read_breakdown(20, PageType.CSB, aged)
+        assert norr.retry_steps == 0

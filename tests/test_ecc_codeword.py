@@ -1,0 +1,50 @@
+"""Tests for the page/codeword layout."""
+
+import pytest
+
+from repro.ecc import PageLayout
+
+
+class TestPageLayout:
+    def test_default_sixteen_codewords(self):
+        layout = PageLayout()
+        assert layout.codewords_per_page == 16
+
+    def test_spare_bytes(self):
+        layout = PageLayout()
+        assert layout.spare_bytes_per_page == (72 * 14 * 16 + 7) // 8
+
+    def test_code_rate_below_one(self):
+        layout = PageLayout()
+        assert 0.85 < layout.code_rate < 1.0
+
+    def test_page_decodes_worst_codeword_decides(self):
+        layout = PageLayout(page_data_bytes=4096)
+        assert layout.page_decodes([10, 20, 72, 0], capability_bits=72)
+        assert not layout.page_decodes([10, 20, 73, 0], capability_bits=72)
+
+    def test_worst_codeword(self):
+        layout = PageLayout(page_data_bytes=4096)
+        assert layout.worst_codeword([1, 9, 3, 7]) == 9
+
+    def test_codeword_count_validated(self):
+        layout = PageLayout(page_data_bytes=4096)
+        with pytest.raises(ValueError):
+            layout.page_decodes([1, 2, 3], capability_bits=72)
+
+    def test_split_errors_preserves_total(self):
+        layout = PageLayout()
+        split = layout.split_errors(100)
+        assert sum(split) == 100
+        assert len(split) == 16
+        assert max(split) - min(split) <= 1
+
+    def test_split_errors_validation(self):
+        with pytest.raises(ValueError):
+            PageLayout().split_errors(-1)
+
+    def test_layout_validation(self):
+        with pytest.raises(ValueError):
+            PageLayout(page_data_bytes=1000, codeword_data_bytes=1024)
+        with pytest.raises(ValueError):
+            PageLayout(parity_bits_per_codeword=-1)

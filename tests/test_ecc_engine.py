@@ -1,0 +1,60 @@
+"""Tests for the capability-model ECC engine."""
+
+import pytest
+
+from repro.ecc import CapabilityEccEngine
+
+
+class TestCapabilityEngine:
+    def test_defaults_match_simulated_ssd(self):
+        engine = CapabilityEccEngine()
+        assert engine.capability_bits == 72
+        assert engine.decode_latency_us == 20.0
+
+    def test_decode_within_capability(self):
+        engine = CapabilityEccEngine()
+        outcome = engine.decode(72)
+        assert outcome.success
+        assert outcome.corrected_bits == 72
+        assert outcome.latency_us == 20.0
+
+    def test_decode_beyond_capability_fails(self):
+        engine = CapabilityEccEngine()
+        outcome = engine.decode(73)
+        assert not outcome.success
+        assert outcome.uncorrectable
+        assert outcome.corrected_bits == 0
+
+    def test_margin(self):
+        engine = CapabilityEccEngine()
+        assert engine.margin(30) == 42
+        assert engine.margin(80) == -8
+
+    def test_decode_page_worst_codeword_decides(self):
+        engine = CapabilityEccEngine()
+        assert engine.decode_page([10, 20, 72]).success
+        assert not engine.decode_page([10, 73, 20]).success
+
+    def test_decode_page_reports_worst_codeword(self):
+        engine = CapabilityEccEngine()
+        assert engine.decode_page([10, 50, 30]).raw_bit_errors == 50
+
+    def test_decode_page_requires_codewords(self):
+        engine = CapabilityEccEngine()
+        with pytest.raises(ValueError):
+            engine.decode_page([])
+
+    def test_negative_error_count_rejected(self):
+        with pytest.raises(ValueError):
+            CapabilityEccEngine().decode(-1)
+
+    def test_custom_configuration(self):
+        engine = CapabilityEccEngine(capability_bits=40, decode_latency_us=10.0)
+        assert engine.capability_bits == 40
+        assert engine.decode(41).success is False
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            CapabilityEccEngine(capability_bits=0)
+        with pytest.raises(ValueError):
+            CapabilityEccEngine(decode_latency_us=-1.0)

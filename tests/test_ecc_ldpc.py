@@ -1,0 +1,72 @@
+"""Tests for the LDPC code and bit-flipping decoder."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import GallagerLdpcCode
+
+
+class TestConstruction:
+    def test_dimensions(self):
+        code = GallagerLdpcCode(n=512, d_v=3, d_c=8, seed=1)
+        assert code.parity_check.shape == (512 * 3 // 8, 512)
+
+    def test_regularity(self):
+        code = GallagerLdpcCode(n=256, d_v=3, d_c=8, seed=1)
+        assert np.all(code.parity_check.sum(axis=1) == 8)
+        assert np.all(code.parity_check.sum(axis=0) == 3)
+
+    def test_rate(self):
+        code = GallagerLdpcCode(n=512, d_v=3, d_c=8, seed=1)
+        assert code.rate == pytest.approx(1.0 - 3.0 / 8.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GallagerLdpcCode(n=100, d_v=3, d_c=8)
+        with pytest.raises(ValueError):
+            GallagerLdpcCode(n=512, d_v=1, d_c=8)
+
+
+class TestDecoding:
+    @pytest.fixture(scope="class")
+    def code(self):
+        return GallagerLdpcCode(n=512, d_v=3, d_c=8, seed=2)
+
+    def test_zero_codeword_is_valid(self, code):
+        assert code.is_codeword(code.zero_codeword())
+
+    def test_syndrome_of_corrupted_word_is_nonzero(self, code, rng):
+        corrupted = code.corrupt(code.zero_codeword(), 5, rng)
+        assert np.any(code.syndrome(corrupted))
+
+    def test_corrects_small_error_counts(self, code):
+        rng = np.random.default_rng(9)
+        rate = code.correction_rate(4, trials=15, rng=rng)
+        assert rate >= 0.9
+
+    def test_fails_on_large_error_counts(self, code):
+        rng = np.random.default_rng(9)
+        rate = code.correction_rate(80, trials=5, rng=rng)
+        assert rate <= 0.2
+
+    def test_decode_reports_iterations(self, code, rng):
+        received = code.corrupt(code.zero_codeword(), 3, rng)
+        result = code.decode(received)
+        assert result.success
+        assert result.iterations >= 1
+        assert result.converged
+
+    def test_clean_word_decodes_in_zero_iterations(self, code):
+        result = code.decode(code.zero_codeword())
+        assert result.success
+        assert result.iterations == 0
+
+    def test_wrong_length_rejected(self, code):
+        with pytest.raises(ValueError):
+            code.decode(np.zeros(10, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            code.corrupt(code.zero_codeword(), -1, np.random.default_rng(0))
+
+    def test_correction_rate_validates_trials(self, code, rng):
+        with pytest.raises(ValueError):
+            code.correction_rate(3, trials=0, rng=rng)

@@ -1,0 +1,64 @@
+"""Tests for operating conditions and the characterization grid."""
+
+import pytest
+
+from repro.errors.condition import (
+    CHARACTERIZATION_PE_CYCLES,
+    CHARACTERIZATION_RETENTION_MONTHS,
+    MANUFACTURER_WORST_CASE,
+    OperatingCondition,
+    characterization_grid,
+)
+
+
+class TestOperatingCondition:
+    def test_defaults(self):
+        condition = OperatingCondition()
+        assert condition.pe_cycles == 0
+        assert condition.retention_months == 0.0
+        assert condition.temperature_c == 30.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OperatingCondition(pe_cycles=-1)
+        with pytest.raises(ValueError):
+            OperatingCondition(retention_months=-0.5)
+        with pytest.raises(ValueError):
+            OperatingCondition(temperature_c=200.0)
+
+    def test_kilo_pe_cycles(self):
+        assert OperatingCondition(pe_cycles=1500).kilo_pe_cycles == 1.5
+
+    def test_with_helpers_return_new_instances(self):
+        base = OperatingCondition(pe_cycles=1000)
+        warmer = base.with_temperature(85.0)
+        assert warmer.temperature_c == 85.0
+        assert base.temperature_c == 30.0
+        assert base.with_retention(6.0).retention_months == 6.0
+        assert base.with_pe_cycles(2000).pe_cycles == 2000
+
+    def test_key_is_hashable_and_stable(self):
+        first = OperatingCondition(1000, 6.0, 30.0)
+        second = OperatingCondition(1000, 6.0, 30.0)
+        assert first.key() == second.key()
+        assert hash(first.key()) == hash(second.key())
+
+    def test_label_formats_kilocycles(self):
+        assert "1K PEC" in OperatingCondition(1000, 6.0, 85.0).label()
+        assert "500 PEC" in OperatingCondition(500, 0.0, 85.0).label()
+
+    def test_manufacturer_worst_case(self):
+        # Section 5.1: a 1-year retention age at 1.5K P/E cycles.
+        assert MANUFACTURER_WORST_CASE.pe_cycles == 1500
+        assert MANUFACTURER_WORST_CASE.retention_months == 12.0
+
+
+class TestCharacterizationGrid:
+    def test_grid_size(self):
+        grid = list(characterization_grid())
+        assert len(grid) == (len(CHARACTERIZATION_PE_CYCLES)
+                             * len(CHARACTERIZATION_RETENTION_MONTHS))
+
+    def test_grid_with_multiple_temperatures(self):
+        grid = list(characterization_grid(temperatures=(85.0, 30.0)))
+        assert len({condition.temperature_c for condition in grid}) == 2

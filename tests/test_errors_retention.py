@@ -1,0 +1,42 @@
+"""Tests for Arrhenius-accelerated retention."""
+
+import pytest
+
+from repro.errors.retention import (
+    arrhenius_acceleration_factor,
+    effective_retention_months,
+    required_bake_hours,
+)
+
+
+class TestAcceleration:
+    def test_identity_at_equal_temperature(self):
+        assert arrhenius_acceleration_factor(30.0, 30.0) == pytest.approx(1.0)
+
+    def test_hotter_bake_accelerates(self):
+        assert arrhenius_acceleration_factor(85.0, 30.0) > 100.0
+        assert (arrhenius_acceleration_factor(85.0, 30.0)
+                > arrhenius_acceleration_factor(55.0, 30.0))
+
+    def test_paper_equivalence_13_hours_at_85c_is_about_a_year(self):
+        # Section 4: 13 hours at 85C is approximately 1 year at 30C.
+        months = effective_retention_months(13.0, 85.0)
+        assert 8.0 < months < 18.0
+
+    def test_roundtrip(self):
+        hours = required_bake_hours(12.0, 85.0)
+        assert effective_retention_months(hours, 85.0) == pytest.approx(12.0)
+
+    def test_monotonic_in_duration(self):
+        assert (effective_retention_months(10.0, 85.0)
+                > effective_retention_months(5.0, 85.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_retention_months(-1.0, 85.0)
+        with pytest.raises(ValueError):
+            required_bake_hours(-1.0, 85.0)
+        with pytest.raises(ValueError):
+            arrhenius_acceleration_factor(85.0, 30.0, activation_energy_ev=0.0)
+        with pytest.raises(ValueError):
+            arrhenius_acceleration_factor(-300.0, 30.0)

@@ -1,0 +1,147 @@
+"""Tests for the reduced read-timing error model (Section 5.2)."""
+
+import pytest
+
+from repro.errors.condition import OperatingCondition
+from repro.errors.timing import ReadTimingErrorModel, TimingReduction
+from repro.errors.variation import VariationSample
+from repro.nand.timing import ReadTimingParameters
+
+
+@pytest.fixture(scope="module")
+def reference_condition():
+    """Figure 8's reference point (1K P/E cycles, no retention, 85C)."""
+    return OperatingCondition(1000, 0.0, 85.0)
+
+
+class TestTimingReduction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimingReduction(pre=1.0)
+        with pytest.raises(ValueError):
+            TimingReduction(disch=-0.1)
+
+    def test_none_is_default(self):
+        assert TimingReduction.none().is_default
+        assert not TimingReduction(pre=0.1).is_default
+
+    def test_from_parameters_roundtrip(self):
+        default = ReadTimingParameters()
+        reduced = default.with_reduction(pre=0.4, disch=0.07)
+        reduction = TimingReduction.from_parameters(reduced, default)
+        assert reduction.pre == pytest.approx(0.4)
+        assert reduction.disch == pytest.approx(0.07)
+        assert reduction.apply_to(default).t_pre_us == pytest.approx(reduced.t_pre_us)
+
+
+class TestIndividualReductions:
+    def test_no_reduction_no_errors(self, timing_error_model, reference_condition):
+        assert timing_error_model.additional_errors_per_codeword(
+            TimingReduction.none(), reference_condition) == 0.0
+
+    def test_errors_monotonic_in_reduction(self, timing_error_model,
+                                           reference_condition):
+        errors = [timing_error_model.additional_errors_per_codeword(
+            TimingReduction(pre=value), reference_condition)
+            for value in (0.1, 0.3, 0.5, 0.6)]
+        assert all(b >= a for a, b in zip(errors, errors[1:]))
+
+    def test_paper_anchor_54pct_tpre_at_1k_fresh(self, timing_error_model,
+                                                 reference_condition):
+        # Section 5.2.2: reducing tPRE by 54% costs ~35 errors at (1K, 0).
+        delta = timing_error_model.additional_errors_per_codeword(
+            TimingReduction(pre=0.54), reference_condition)
+        assert delta == pytest.approx(35.0, rel=0.3)
+
+    def test_paper_anchor_20pct_teval_on_fresh_page(self, timing_error_model):
+        # Section 5.2.1: a 20% tEVAL reduction costs ~30 errors even fresh.
+        delta = timing_error_model.additional_errors_per_codeword(
+            TimingReduction(eval_=0.2), OperatingCondition(0, 0.0, 85.0))
+        assert delta == pytest.approx(30.0, rel=0.35)
+
+    def test_small_disch_reduction_is_nearly_free(self, timing_error_model):
+        # Figure 9, third observation: 7% tDISCH costs at most ~4 errors.
+        for pec, months in ((0, 0.0), (1000, 0.0), (2000, 12.0)):
+            delta = timing_error_model.additional_errors_per_codeword(
+                TimingReduction(disch=0.07), OperatingCondition(pec, months, 85.0))
+            assert delta <= 4.5
+
+    def test_sensitivity_ordering_eval_worst(self, timing_error_model,
+                                             reference_condition):
+        # Equal fractional reductions: tEVAL hurts most, tPRE least.
+        pre = timing_error_model.additional_errors_per_codeword(
+            TimingReduction(pre=0.2), reference_condition)
+        eval_ = timing_error_model.additional_errors_per_codeword(
+            TimingReduction(eval_=0.2), reference_condition)
+        disch = timing_error_model.additional_errors_per_codeword(
+            TimingReduction(disch=0.2), reference_condition)
+        assert eval_ > disch > pre
+
+
+class TestConditionScaling:
+    def test_severity_normalized_at_reference(self, timing_error_model,
+                                              reference_condition):
+        assert timing_error_model.severity(reference_condition) == pytest.approx(1.0)
+
+    def test_retention_raises_tpre_penalty_by_about_60pct(self, timing_error_model):
+        # Figure 8(a): Delta M_ERR(2K, 12) is ~60% higher than (2K, 0).
+        fresh = timing_error_model.additional_errors_per_codeword(
+            TimingReduction(pre=0.47), OperatingCondition(2000, 0.0, 85.0))
+        aged = timing_error_model.additional_errors_per_codeword(
+            TimingReduction(pre=0.47), OperatingCondition(2000, 12.0, 85.0))
+        assert aged / fresh == pytest.approx(1.6, rel=0.1)
+
+    def test_variation_scales_errors(self, timing_error_model, reference_condition):
+        slow_bitlines = VariationSample(timing_multiplier=1.3)
+        base = timing_error_model.additional_errors_per_codeword(
+            TimingReduction(pre=0.47), reference_condition)
+        worse = timing_error_model.additional_errors_per_codeword(
+            TimingReduction(pre=0.47), reference_condition, slow_bitlines)
+        assert worse == pytest.approx(1.3 * base, rel=1e-6)
+
+
+class TestTemperature:
+    def test_low_temperature_adds_bounded_errors(self, timing_error_model):
+        # Figure 10: at most ~7 extra errors at 30C vs 85C.
+        for reduction in (0.2, 0.4, 0.47, 0.54, 0.6):
+            hot = timing_error_model.additional_errors_per_codeword(
+                TimingReduction(pre=reduction), OperatingCondition(2000, 12.0, 85.0))
+            cold = timing_error_model.additional_errors_per_codeword(
+                TimingReduction(pre=reduction), OperatingCondition(2000, 12.0, 30.0))
+            assert cold >= hot
+            assert cold - hot <= 7.5
+
+
+class TestCombinedReductions:
+    def test_combination_is_super_additive(self, timing_error_model,
+                                           reference_condition):
+        # Figure 9: the coupling through partially discharged bitlines makes
+        # the combination cost more than the sum of its parts.
+        pre_only = timing_error_model.additional_errors_per_codeword(
+            TimingReduction(pre=0.54), reference_condition)
+        disch_only = timing_error_model.additional_errors_per_codeword(
+            TimingReduction(disch=0.20), reference_condition)
+        combined = timing_error_model.additional_errors_per_codeword(
+            TimingReduction(pre=0.54, disch=0.20), reference_condition)
+        assert combined > pre_only + disch_only
+
+    def test_combined_54_20_exceeds_capability(self, timing_error_model,
+                                               reference_condition):
+        combined = timing_error_model.additional_errors_per_codeword(
+            TimingReduction(pre=0.54, disch=0.20), reference_condition)
+        assert combined > 72
+
+
+class TestSafeReductionSearch:
+    def test_safe_pre_reduction_within_budget(self, timing_error_model):
+        condition = OperatingCondition(2000, 12.0, 30.0)
+        reduction = timing_error_model.safe_pre_reduction(condition,
+                                                          error_budget=18.0)
+        assert 0.3 <= reduction <= 0.5
+        delta = timing_error_model.additional_errors_per_codeword(
+            TimingReduction(pre=reduction), condition)
+        assert delta <= 18.0
+
+    def test_zero_budget_means_no_reduction(self, timing_error_model):
+        condition = OperatingCondition(2000, 12.0, 30.0)
+        assert timing_error_model.safe_pre_reduction(condition, -5.0) == 0.0

@@ -1,0 +1,61 @@
+"""Tests for the process-variation model."""
+
+import pytest
+
+from repro.errors.variation import ProcessVariation, VariationSample
+
+
+class TestVariationSample:
+    def test_nominal(self):
+        sample = VariationSample.nominal()
+        assert sample.shift_multiplier == 1.0
+        assert sample.sigma_multiplier == 1.0
+        assert sample.timing_multiplier == 1.0
+
+    def test_positive_validation(self):
+        with pytest.raises(ValueError):
+            VariationSample(shift_multiplier=0.0)
+        with pytest.raises(ValueError):
+            VariationSample(timing_multiplier=-1.0)
+
+
+class TestProcessVariation:
+    def test_deterministic_per_address(self):
+        variation = ProcessVariation(seed=11)
+        first = variation.sample(chip=3, block=7, wordline=2)
+        second = ProcessVariation(seed=11).sample(chip=3, block=7, wordline=2)
+        assert first == second
+
+    def test_different_addresses_differ(self):
+        variation = ProcessVariation(seed=11)
+        assert (variation.sample(0, 0, 0) != variation.sample(0, 0, 1))
+        assert (variation.sample(0, 0, 0) != variation.sample(1, 0, 0))
+
+    def test_different_seeds_differ(self):
+        first = ProcessVariation(seed=1).sample(0, 0, 0)
+        second = ProcessVariation(seed=2).sample(0, 0, 0)
+        assert first != second
+
+    def test_population_is_centred_near_one(self):
+        variation = ProcessVariation(seed=5)
+        samples = [variation.sample(chip, block, wordline)
+                   for chip in range(6) for block in range(6)
+                   for wordline in range(3)]
+        mean_shift = sum(s.shift_multiplier for s in samples) / len(samples)
+        mean_sigma = sum(s.sigma_multiplier for s in samples) / len(samples)
+        assert 0.9 < mean_shift < 1.1
+        assert 0.97 < mean_sigma < 1.03
+        # All multipliers stay positive and within a plausible silicon range.
+        assert all(0.6 < s.shift_multiplier < 1.6 for s in samples)
+        assert all(0.9 < s.sigma_multiplier < 1.12 for s in samples)
+
+    def test_block_sample_matches_wordline_zero(self):
+        variation = ProcessVariation(seed=5)
+        assert variation.block_sample(2, 9) == variation.sample(2, 9, 0)
+
+    def test_cache_reuse_returns_same_object(self):
+        variation = ProcessVariation(seed=5)
+        assert variation.sample(1, 1, 1) is variation.sample(1, 1, 1)
+
+    def test_seed_property(self):
+        assert ProcessVariation(seed=42).seed == 42

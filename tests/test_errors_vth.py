@@ -1,0 +1,93 @@
+"""Tests for the threshold-voltage distribution model."""
+
+import numpy as np
+import pytest
+
+from repro.errors.condition import OperatingCondition
+from repro.errors.variation import VariationSample
+from repro.nand.voltage import NUM_BOUNDARIES, NUM_STATES
+
+
+class TestShiftLaw:
+    def test_no_shift_when_fresh(self, vth_model, fresh_condition):
+        assert vth_model.retention_shift_mv(fresh_condition) == 0.0
+
+    def test_shift_grows_with_retention(self, vth_model):
+        shifts = [vth_model.retention_shift_mv(
+            OperatingCondition(0, months, 85.0)) for months in (1, 3, 6, 12)]
+        assert all(b > a for a, b in zip(shifts, shifts[1:]))
+
+    def test_shift_grows_with_pe_cycles(self, vth_model):
+        base = vth_model.retention_shift_mv(OperatingCondition(0, 6.0, 85.0))
+        worn = vth_model.retention_shift_mv(OperatingCondition(2000, 6.0, 85.0))
+        assert worn > base
+
+    def test_variation_scales_shift(self, vth_model):
+        condition = OperatingCondition(1000, 6.0, 85.0)
+        fast_aging = VariationSample(shift_multiplier=1.2)
+        assert (vth_model.retention_shift_mv(condition, fast_aging)
+                == pytest.approx(1.2 * vth_model.retention_shift_mv(condition)))
+
+
+class TestDistributions:
+    def test_state_count(self, vth_model, aged_condition):
+        assert vth_model.state_means_mv(aged_condition).shape == (NUM_STATES,)
+        assert vth_model.state_sigmas_mv(aged_condition).shape == (NUM_STATES,)
+
+    def test_programmed_states_shift_down_uniformly(self, vth_model):
+        fresh = vth_model.state_means_mv(OperatingCondition(0, 0.0, 85.0))
+        aged = vth_model.state_means_mv(OperatingCondition(0, 12.0, 85.0))
+        programmed_shifts = fresh[1:] - aged[1:]
+        assert np.all(programmed_shifts > 0)
+        assert np.allclose(programmed_shifts, programmed_shifts[0])
+        # The erased state moves much less.
+        assert (fresh[0] - aged[0]) < programmed_shifts[0] * 0.5
+
+    def test_sigmas_widen_with_aging(self, vth_model, fresh_condition, aged_condition):
+        fresh = vth_model.state_sigmas_mv(fresh_condition)
+        aged = vth_model.state_sigmas_mv(aged_condition)
+        assert np.all(aged > fresh)
+
+    def test_erased_state_is_widest(self, vth_model, fresh_condition):
+        sigmas = vth_model.state_sigmas_mv(fresh_condition)
+        assert sigmas[0] > sigmas[1]
+
+    def test_boundary_parameters_shapes(self, vth_model, aged_condition):
+        lower_mu, lower_sigma, upper_mu, upper_sigma = (
+            vth_model.boundary_parameters(aged_condition))
+        for array in (lower_mu, lower_sigma, upper_mu, upper_sigma):
+            assert array.shape == (NUM_BOUNDARIES,)
+        assert np.all(upper_mu > lower_mu)
+
+
+class TestOptimalShift:
+    def test_optimal_shift_is_negative_for_aged_data(self, vth_model):
+        shift = vth_model.optimal_shift_mv(OperatingCondition(1000, 6.0, 85.0))
+        assert shift < -100.0
+
+    def test_optimal_shift_tracks_retention_shift(self, vth_model):
+        condition = OperatingCondition(1000, 6.0, 85.0)
+        assert vth_model.optimal_shift_mv(condition) == pytest.approx(
+            -vth_model.retention_shift_mv(condition), rel=0.05)
+
+    def test_optimal_boundaries_between_adjacent_states(self, vth_model, aged_condition):
+        means = vth_model.state_means_mv(aged_condition)
+        optimal = vth_model.optimal_boundary_voltages_mv(aged_condition)
+        for boundary in range(NUM_BOUNDARIES):
+            assert means[boundary] < optimal[boundary] < means[boundary + 1]
+
+
+class TestTemperature:
+    def test_reference_temperature_has_no_extra_errors(self, vth_model):
+        condition = OperatingCondition(1000, 6.0, 85.0)
+        assert vth_model.temperature_extra_errors_per_kib(condition) == 0.0
+
+    def test_lower_temperature_adds_errors(self, vth_model):
+        # Section 5.1: +5 errors at 30C and +3 at 55C relative to 85C.
+        at_30 = vth_model.temperature_extra_errors_per_kib(
+            OperatingCondition(1000, 6.0, 30.0))
+        at_55 = vth_model.temperature_extra_errors_per_kib(
+            OperatingCondition(1000, 6.0, 55.0))
+        assert at_30 == pytest.approx(5.0, abs=0.5)
+        assert at_55 == pytest.approx(3.0, abs=0.5)
+        assert at_30 > at_55

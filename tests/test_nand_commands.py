@@ -1,0 +1,60 @@
+"""Tests for the NAND command set."""
+
+import pytest
+
+from repro.nand.commands import Command, CommandKind
+from repro.nand.geometry import ChipGeometry
+from repro.nand.timing import ReadTimingParameters
+
+
+@pytest.fixture(scope="module")
+def address():
+    return ChipGeometry.small().make_address(0, 0, 1, 4)
+
+
+class TestCommandKind:
+    def test_read_kinds(self):
+        assert CommandKind.PAGE_READ.is_read
+        assert CommandKind.CACHE_READ.is_read
+        assert not CommandKind.PROGRAM.is_read
+
+    def test_target_classification(self):
+        assert CommandKind.PROGRAM.targets_page
+        assert CommandKind.ERASE.targets_block
+        assert not CommandKind.RESET.targets_page
+
+
+class TestCommandConstruction:
+    def test_page_read(self, address):
+        command = Command.page_read(address, shift_mv=-60.0)
+        assert command.kind is CommandKind.PAGE_READ
+        assert command.read_reference_shift_mv == -60.0
+        assert command.address is address
+
+    def test_cache_read(self, address):
+        assert Command.cache_read(address).kind is CommandKind.CACHE_READ
+
+    def test_program_and_erase(self, address):
+        assert Command.program(address).kind is CommandKind.PROGRAM
+        assert Command.erase(address).kind is CommandKind.ERASE
+
+    def test_set_feature_requires_timing(self):
+        with pytest.raises(ValueError):
+            Command(CommandKind.SET_FEATURE)
+        command = Command.set_feature(ReadTimingParameters().with_reduction(pre=0.4))
+        assert command.read_timing.t_pre_us == pytest.approx(14.4)
+
+    def test_reads_require_address(self):
+        with pytest.raises(ValueError):
+            Command(CommandKind.PAGE_READ)
+        with pytest.raises(ValueError):
+            Command(CommandKind.PROGRAM)
+
+    def test_reset_and_status(self):
+        assert Command.reset().kind is CommandKind.RESET
+        assert Command.read_status().kind is CommandKind.READ_STATUS
+
+    def test_command_ids_are_unique_and_increasing(self, address):
+        first = Command.page_read(address)
+        second = Command.page_read(address)
+        assert second.command_id > first.command_id

@@ -1,0 +1,83 @@
+"""Tests for the timing parameters and Equation (1)."""
+
+import pytest
+
+from repro.nand.geometry import PageType
+from repro.nand.timing import ReadTimingParameters, TimingParameters, TABLE1_TIMING
+
+
+class TestReadTimingParameters:
+    def test_default_phase_values_match_characterized_chips(self):
+        read = ReadTimingParameters()
+        assert read.t_pre_us == 24.0
+        assert read.t_eval_us == 5.0
+        assert read.t_disch_us == 10.0
+        # tPRE : tEVAL : tDISCH is roughly 5 : 1 : 2 (Section 4).
+        assert read.t_pre_us / read.t_eval_us == pytest.approx(4.8)
+        assert read.t_disch_us / read.t_eval_us == pytest.approx(2.0)
+
+    def test_equation_1_sensing_latency(self):
+        read = ReadTimingParameters()
+        assert read.sense_cycle_us == pytest.approx(39.0)
+        assert read.sensing_latency_us(PageType.LSB) == pytest.approx(78.0)
+        assert read.sensing_latency_us(PageType.CSB) == pytest.approx(117.0)
+        assert read.sensing_latency_us(PageType.MSB) == pytest.approx(78.0)
+
+    def test_average_sensing_latency_about_90us(self):
+        # Table 1 lists tR (avg.) = 90 us.
+        assert ReadTimingParameters().average_sensing_latency_us() == pytest.approx(91.0)
+
+    def test_with_reduction(self):
+        read = ReadTimingParameters().with_reduction(pre=0.5, disch=0.1)
+        assert read.t_pre_us == pytest.approx(12.0)
+        assert read.t_eval_us == pytest.approx(5.0)
+        assert read.t_disch_us == pytest.approx(9.0)
+
+    def test_with_reduction_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ReadTimingParameters().with_reduction(pre=1.0)
+        with pytest.raises(ValueError):
+            ReadTimingParameters().with_reduction(eval_=-0.1)
+
+    def test_reduction_from_roundtrip(self):
+        default = ReadTimingParameters()
+        reduced = default.with_reduction(pre=0.4)
+        fractions = reduced.reduction_from(default)
+        assert fractions["pre"] == pytest.approx(0.4)
+        assert fractions["eval"] == pytest.approx(0.0)
+
+    def test_speedup_over(self):
+        default = ReadTimingParameters()
+        reduced = default.with_reduction(pre=0.4)
+        # A 40% tPRE reduction shortens the sense cycle by 9.6 us out of 39.
+        assert reduced.speedup_over(default) == pytest.approx(39.0 / 29.4)
+
+    def test_positive_validation(self):
+        with pytest.raises(ValueError):
+            ReadTimingParameters(t_pre_us=0.0)
+
+
+class TestTimingParameters:
+    def test_table1_values(self):
+        table = TABLE1_TIMING.table1()
+        assert table["tPROG"] == 700.0
+        assert table["tBERS"] == 5000.0
+        assert table["tSET"] == 1.0
+        assert table["tRST"] == 5.0
+        assert table["tDMA"] == 16.0
+        assert table["tECC"] == 20.0
+        assert table["tR (avg.)"] == pytest.approx(91.0)
+
+    def test_t_r_us_with_override(self, timing):
+        reduced = timing.read.with_reduction(pre=0.4)
+        assert timing.t_r_us(PageType.CSB, reduced) < timing.t_r_us(PageType.CSB)
+
+    def test_with_read_returns_new_instance(self, timing):
+        reduced = timing.read.with_reduction(pre=0.2)
+        updated = timing.with_read(reduced)
+        assert updated.read is reduced
+        assert timing.read is not reduced
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            TimingParameters(t_prog_us=-1.0)

@@ -1,0 +1,128 @@
+"""Tests for threshold-voltage states, V_REF sets and the read-retry table."""
+
+import pytest
+
+from repro.nand.geometry import PageType
+from repro.nand.voltage import (
+    BOUNDARY_SHIFT_WEIGHTS,
+    NUM_BOUNDARIES,
+    NUM_STATES,
+    ReadReferenceSet,
+    ReadRetryTable,
+    TLC_GRAY_CODE,
+    bit_of_state,
+    boundaries_for,
+    default_read_references_mv,
+    fresh_state_means_mv,
+)
+
+
+class TestStatesAndGrayCode:
+    def test_eight_states_and_seven_boundaries(self):
+        assert NUM_STATES == 8
+        assert NUM_BOUNDARIES == 7
+        assert len(fresh_state_means_mv()) == 8
+        assert len(default_read_references_mv()) == 7
+
+    def test_state_means_are_increasing(self):
+        means = fresh_state_means_mv()
+        assert all(b > a for a, b in zip(means, means[1:]))
+
+    def test_default_references_between_adjacent_states(self):
+        means = fresh_state_means_mv()
+        references = default_read_references_mv()
+        for boundary, reference in enumerate(references):
+            assert means[boundary] < reference < means[boundary + 1]
+
+    def test_gray_code_has_unique_codewords(self):
+        assert len(set(TLC_GRAY_CODE)) == NUM_STATES
+
+    def test_gray_code_single_bit_transitions(self):
+        # Adjacent states differ in exactly one bit (that is what makes the
+        # 2-3-2 sensing split work).
+        for state in range(NUM_STATES - 1):
+            differences = sum(
+                a != b for a, b in zip(TLC_GRAY_CODE[state],
+                                       TLC_GRAY_CODE[state + 1]))
+            assert differences == 1
+
+    def test_bit_of_state_matches_sensed_boundaries(self):
+        # The bit of a page type changes exactly at that page type's sensed
+        # boundaries.
+        for page_type in PageType:
+            transitions = [
+                boundary for boundary in range(NUM_BOUNDARIES)
+                if bit_of_state(boundary, page_type)
+                != bit_of_state(boundary + 1, page_type)
+            ]
+            assert tuple(transitions) == boundaries_for(page_type)
+
+    def test_bit_of_state_validates_input(self):
+        with pytest.raises(ValueError):
+            bit_of_state(8, PageType.LSB)
+
+
+class TestReadReferenceSet:
+    def test_default_has_zero_shift(self):
+        assert ReadReferenceSet.default().shift_mv == 0.0
+
+    def test_shifted_applies_boundary_weights(self):
+        base = ReadReferenceSet.default()
+        shifted = base.shifted(-100.0)
+        assert shifted.shift_mv == pytest.approx(-100.0)
+        for boundary in range(NUM_BOUNDARIES):
+            expected = (base.voltages_mv[boundary]
+                        - 100.0 * BOUNDARY_SHIFT_WEIGHTS[boundary])
+            assert shifted.voltages_mv[boundary] == pytest.approx(expected)
+
+    def test_voltages_for_page_type(self):
+        refs = ReadReferenceSet.default()
+        assert len(refs.voltages_for(PageType.CSB)) == 3
+        assert len(refs.voltages_for(PageType.MSB)) == 2
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            ReadReferenceSet((0.0, 1.0))
+
+    def test_voltage_for_boundary_range_checked(self):
+        with pytest.raises(ValueError):
+            ReadReferenceSet.default().voltage_for_boundary(7)
+
+
+class TestReadRetryTable:
+    def test_shifts_are_negative_and_monotonic(self):
+        table = ReadRetryTable()
+        shifts = [table.shift_for_step(step) for step in table.steps()]
+        assert all(shift < 0 for shift in shifts)
+        assert all(b < a for a, b in zip(shifts, shifts[1:]))
+
+    def test_step_numbering_starts_at_one(self):
+        table = ReadRetryTable()
+        with pytest.raises(ValueError):
+            table.shift_for_step(0)
+        with pytest.raises(ValueError):
+            table.shift_for_step(table.num_entries + 1)
+
+    def test_reference_set_for_step(self):
+        table = ReadRetryTable(step_mv=30.0)
+        refs = table.reference_set_for_step(2)
+        assert refs.shift_mv == pytest.approx(-60.0)
+
+    def test_closest_step(self):
+        table = ReadRetryTable(step_mv=30.0, num_entries=10)
+        assert table.closest_step(-29.0) == 1
+        assert table.closest_step(-95.0) == 3
+        assert table.closest_step(-1000.0) == 10
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ReadRetryTable(step_mv=0.0)
+        with pytest.raises(ValueError):
+            ReadRetryTable(num_entries=0)
+
+    def test_table_covers_worst_case_shift(self, vth_model, aged_condition):
+        # The manufacturer table must reach beyond the optimal shift of the
+        # worst characterized condition, otherwise reads would fail outright.
+        table = ReadRetryTable()
+        worst_shift = vth_model.optimal_shift_mv(aged_condition)
+        assert table.shift_for_step(table.num_entries) < worst_shift

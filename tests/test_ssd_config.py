@@ -1,0 +1,46 @@
+"""Tests for the SSD configuration."""
+
+import pytest
+
+from repro.nand.timing import TimingParameters
+from repro.ssd.config import SsdConfig
+
+
+class TestSsdConfig:
+    def test_paper_configuration(self):
+        config = SsdConfig.paper()
+        assert config.channels == 4
+        assert config.dies_per_channel == 4
+        assert config.planes_per_die == 2
+        assert config.blocks_per_plane == 1888
+        assert config.pages_per_block == 576
+        # The paper simulates a 512-GiB class SSD.
+        assert 450.0 < config.physical_capacity_gib < 600.0
+
+    def test_derived_counts(self):
+        config = SsdConfig.tiny()
+        assert config.num_dies == config.channels * config.dies_per_channel
+        assert config.num_planes == config.num_dies * config.planes_per_die
+        assert config.physical_pages == (config.num_planes
+                                         * config.blocks_per_plane
+                                         * config.pages_per_block)
+        assert config.logical_pages < config.physical_pages
+
+    def test_scaled_keeps_parallelism(self):
+        config = SsdConfig.scaled()
+        assert config.channels == 4
+        assert config.dies_per_channel == 4
+        assert config.blocks_per_plane < 1888
+
+    def test_with_timing(self):
+        timing = TimingParameters(t_prog_us=500.0)
+        config = SsdConfig.tiny().with_timing(timing)
+        assert config.timing.t_prog_us == 500.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SsdConfig(channels=0)
+        with pytest.raises(ValueError):
+            SsdConfig(overprovisioning=0.9)
+        with pytest.raises(ValueError):
+            SsdConfig(gc_free_block_threshold=1)

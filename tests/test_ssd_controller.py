@@ -1,0 +1,136 @@
+"""Tests for the end-to-end SSD simulator."""
+
+import pytest
+
+from repro.ssd.config import SsdConfig
+from repro.ssd.controller import SsdSimulator, simulate_policies
+from repro.ssd.request import HostRequest, RequestKind
+
+
+def read(arrival, lpn, pages=1):
+    return HostRequest(arrival_us=arrival, kind=RequestKind.READ,
+                       start_lpn=lpn, page_count=pages)
+
+
+def write(arrival, lpn, pages=1):
+    return HostRequest(arrival_us=arrival, kind=RequestKind.WRITE,
+                       start_lpn=lpn, page_count=pages)
+
+
+@pytest.fixture()
+def config():
+    return SsdConfig.tiny()
+
+
+class TestBasicOperation:
+    def test_single_fresh_read(self, config, default_rpt):
+        simulator = SsdSimulator(config, policy="Baseline", rpt=default_rpt)
+        simulator.precondition(pe_cycles=0, retention_months=0.0)
+        result = simulator.run([read(0.0, 10)])
+        assert result.metrics.host_reads == 1
+        # A fresh read needs no retry: tR + tDMA + tECC at most (CSB worst).
+        assert result.metrics.mean_response_time_us("read") <= 117.0 + 36.0 + 1e-6
+        assert result.metrics.mean_retry_steps() == 0.0
+
+    def test_aged_read_takes_much_longer(self, config, default_rpt):
+        simulator = SsdSimulator(config, policy="Baseline", rpt=default_rpt)
+        simulator.precondition(pe_cycles=2000, retention_months=12.0)
+        result = simulator.run([read(0.0, 10)])
+        assert result.metrics.mean_retry_steps() >= 10
+        assert result.metrics.mean_response_time_us("read") > 1000.0
+
+    def test_write_is_absorbed_by_buffer(self, config, default_rpt):
+        simulator = SsdSimulator(config, policy="Baseline", rpt=default_rpt)
+        simulator.precondition()
+        result = simulator.run([write(0.0, 5)])
+        assert result.metrics.host_writes == 1
+        assert result.metrics.mean_response_time_us("write") == pytest.approx(0.0)
+        assert result.metrics.host_programs == 1
+
+    def test_write_back_pressure_when_buffer_full(self, default_rpt):
+        config = SsdConfig.tiny(write_buffer_pages=2)
+        simulator = SsdSimulator(config, policy="Baseline", rpt=default_rpt)
+        simulator.precondition()
+        requests = [write(0.0, lpn) for lpn in range(6)]
+        result = simulator.run(requests)
+        assert result.metrics.host_writes == 6
+        # Later writes had to wait for flash programs to drain the buffer.
+        assert result.metrics.max_response_time_us("write") > 0.0
+
+    def test_multi_page_read_completes_once(self, config, default_rpt):
+        simulator = SsdSimulator(config, policy="Baseline", rpt=default_rpt)
+        simulator.precondition()
+        result = simulator.run([read(0.0, 0, pages=4)])
+        assert result.metrics.host_reads == 1
+        assert len(result.metrics.retry_steps_per_read) == 4
+
+    def test_unmapped_read_is_treated_as_cold_data(self, config, default_rpt):
+        simulator = SsdSimulator(config, policy="Baseline", rpt=default_rpt)
+        simulator.precondition(pe_cycles=1000, retention_months=6.0,
+                               fill_fraction=0.05)
+        lpn = config.logical_pages - 1  # outside the preconditioned range
+        result = simulator.run([read(0.0, lpn)])
+        assert result.metrics.mean_retry_steps() > 0
+
+    def test_precondition_validation(self, config):
+        simulator = SsdSimulator(config, policy="NoRR")
+        with pytest.raises(ValueError):
+            simulator.precondition(fill_fraction=0.0)
+
+
+class TestPolicyBehaviour:
+    def test_policy_accepts_instances_and_names(self, config, default_rpt):
+        from repro.core.policies import PR2Policy
+
+        by_name = SsdSimulator(config, policy="PR2", rpt=default_rpt)
+        by_instance = SsdSimulator(config, policy=PR2Policy(config.timing,
+                                                            default_rpt))
+        assert by_name.policy.name == by_instance.policy.name == "PR2"
+
+    def test_pnar2_beats_baseline_under_aging(self, config, default_rpt):
+        def requests():
+            return [read(i * 400.0, 7 * i % 200) for i in range(40)]
+
+        results = simulate_policies(["Baseline", "PnAR2", "NoRR"], requests,
+                                    config=config, pe_cycles=1000,
+                                    retention_months=6.0, rpt=default_rpt)
+        baseline = results["Baseline"].mean_response_time_us
+        pnar2 = results["PnAR2"].mean_response_time_us
+        norr = results["NoRR"].mean_response_time_us
+        assert norr < pnar2 < baseline
+
+    def test_all_policies_identical_on_fresh_ssd(self, config, default_rpt):
+        def requests():
+            return [read(i * 500.0, i) for i in range(20)]
+
+        results = simulate_policies(["Baseline", "PR2", "PnAR2", "NoRR"],
+                                    requests, config=config, pe_cycles=0,
+                                    retention_months=0.0, rpt=default_rpt)
+        means = {name: round(result.mean_response_time_us, 3)
+                 for name, result in results.items()}
+        assert len(set(means.values())) == 1
+
+    def test_result_summary_contains_policy(self, config, default_rpt):
+        simulator = SsdSimulator(config, policy="AR2", rpt=default_rpt)
+        simulator.precondition(pe_cycles=1000, retention_months=6.0)
+        result = simulator.run([read(0.0, 3)])
+        summary = result.summary()
+        assert summary["policy"] == "AR2"
+        assert result.preconditioned_pe_cycles == 1000
+        assert result.preconditioned_retention_months == 6.0
+
+
+class TestGcIntegration:
+    def test_sustained_writes_trigger_gc(self, default_rpt):
+        config = SsdConfig.tiny(write_buffer_pages=16,
+                                gc_free_block_threshold=6)
+        simulator = SsdSimulator(config, policy="Baseline", rpt=default_rpt)
+        simulator.precondition(fill_fraction=0.7)
+        hot_span = 40
+        requests = [write(i * 30.0, i % hot_span, pages=1)
+                    for i in range(800)]
+        result = simulator.run(requests)
+        assert result.metrics.gc_erases > 0
+        assert result.metrics.gc_programs >= 0
+        # The device never runs out of free blocks (the run completes).
+        assert result.metrics.host_writes == 800

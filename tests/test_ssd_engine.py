@@ -1,0 +1,79 @@
+"""Tests for the discrete-event core."""
+
+import pytest
+
+from repro.ssd.engine import EventQueue
+
+
+class TestEventQueue:
+    def test_events_run_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(5.0, lambda: order.append("b"))
+        queue.schedule(1.0, lambda: order.append("a"))
+        queue.schedule(9.0, lambda: order.append("c"))
+        queue.run()
+        assert order == ["a", "b", "c"]
+        assert queue.now_us == 9.0
+
+    def test_ties_preserve_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(2.0, lambda: order.append("first"))
+        queue.schedule(2.0, lambda: order.append("second"))
+        queue.run()
+        assert order == ["first", "second"]
+
+    def test_schedule_after(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(3.0, lambda: queue.schedule_after(2.0, lambda: seen.append(queue.now_us)))
+        queue.run()
+        assert seen == [5.0]
+
+    def test_cancelled_events_do_not_run(self):
+        queue = EventQueue()
+        seen = []
+        handle = queue.schedule(1.0, lambda: seen.append("cancelled"))
+        queue.schedule(2.0, lambda: seen.append("kept"))
+        handle.cancel()
+        assert handle.cancelled
+        queue.run()
+        assert seen == ["kept"]
+
+    def test_cannot_schedule_in_the_past(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda: None)
+        queue.run()
+        with pytest.raises(ValueError):
+            queue.schedule(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            queue.schedule_after(-1.0, lambda: None)
+
+    def test_run_until_time_limit(self):
+        queue = EventQueue()
+        seen = []
+        for time in (1.0, 2.0, 3.0, 4.0):
+            queue.schedule(time, lambda t=time: seen.append(t))
+        executed = queue.run(until_us=2.5)
+        assert executed == 2
+        assert seen == [1.0, 2.0]
+        queue.run()
+        assert seen == [1.0, 2.0, 3.0, 4.0]
+
+    def test_run_with_event_budget(self):
+        queue = EventQueue()
+        for time in range(10):
+            queue.schedule(float(time), lambda: None)
+        assert queue.run(max_events=4) == 4
+        assert len(queue) == 6
+
+    def test_step_on_empty_queue(self):
+        assert EventQueue().step() is False
+
+    def test_len_ignores_cancelled(self):
+        queue = EventQueue()
+        handle = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert len(queue) == 1

@@ -1,0 +1,142 @@
+"""Tests for garbage collection, the write buffer and the flash backend."""
+
+import pytest
+
+from repro.core.rpt import ReadTimingParameterTable
+from repro.nand.geometry import PageType
+from repro.ssd.config import SsdConfig
+from repro.ssd.flash_backend import FlashBackend
+from repro.ssd.ftl import FlashTranslationLayer, PhysicalPage
+from repro.ssd.gc import GarbageCollector
+from repro.ssd.write_buffer import WriteBuffer
+
+
+class TestGarbageCollector:
+    @pytest.fixture()
+    def ftl(self):
+        return FlashTranslationLayer(SsdConfig.tiny())
+
+    def test_collects_and_relocates_valid_pages(self, ftl):
+        gc = GarbageCollector(ftl)
+        pages_per_block = ftl.config.pages_per_block
+        for lpn in range(pages_per_block):
+            ftl.write(lpn, plane_index=0, retention_months=6.0)
+        # Invalidate half the block by rewriting elsewhere.
+        for lpn in range(0, pages_per_block, 2):
+            ftl.write(lpn, plane_index=1)
+        operation = gc.collect_plane(0)
+        assert operation is not None
+        assert operation.relocated_pages == pages_per_block // 2
+        # Relocated cold pages keep their retention age.
+        for destination in operation.destinations:
+            assert ftl.retention_months_of(destination) == 6.0
+        # The victim block is free again.
+        plane = ftl.planes[0]
+        assert plane.blocks[operation.victim_block].valid_count == 0
+        assert gc.stats.erased_blocks == 1
+        assert gc.stats.relocated_pages == operation.relocated_pages
+
+    def test_collect_plane_without_candidates(self, ftl):
+        gc = GarbageCollector(ftl)
+        assert gc.collect_plane(0) is None
+
+    def test_collect_if_needed_only_when_below_threshold(self, ftl):
+        gc = GarbageCollector(ftl)
+        assert gc.collect_if_needed() == []
+
+    def test_write_amplification(self, ftl):
+        gc = GarbageCollector(ftl)
+        assert gc.stats.write_amplification(0) == 1.0
+        gc.stats.relocated_pages = 50
+        assert gc.stats.write_amplification(100) == pytest.approx(1.5)
+
+
+class TestWriteBuffer:
+    def test_admission_and_release(self):
+        buffer = WriteBuffer(capacity_pages=4)
+        assert buffer.try_admit(3)
+        assert buffer.used_pages == 3
+        assert not buffer.try_admit(2)
+        buffer.release(2)
+        assert buffer.try_admit(2)
+        assert buffer.used_pages == 3
+        assert buffer.free_pages == 1
+        assert buffer.try_admit(1)
+        assert buffer.is_full is True
+
+    def test_release_validation(self):
+        buffer = WriteBuffer(capacity_pages=2)
+        buffer.try_admit(1)
+        with pytest.raises(ValueError):
+            buffer.release(2)
+        with pytest.raises(ValueError):
+            buffer.release(0)
+
+    def test_waiter_queue_is_fifo(self):
+        buffer = WriteBuffer(capacity_pages=1)
+        buffer.enqueue_waiter("first")
+        buffer.enqueue_waiter("second")
+        assert buffer.waiting_count == 2
+        assert buffer.pop_waiter() == "first"
+        buffer.requeue_waiter_front("first")
+        assert buffer.pop_waiter() == "first"
+        assert buffer.pop_waiter() == "second"
+        assert buffer.pop_waiter() is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(capacity_pages=0)
+        with pytest.raises(ValueError):
+            WriteBuffer(4).try_admit(0)
+
+    def test_total_admitted_counter(self):
+        buffer = WriteBuffer(capacity_pages=8)
+        buffer.try_admit(3)
+        buffer.try_admit(2)
+        assert buffer.total_admitted == 5
+
+
+class TestFlashBackend:
+    @pytest.fixture(scope="class")
+    def backend(self, default_rpt):
+        return FlashBackend(SsdConfig.tiny(), rpt=default_rpt)
+
+    @pytest.fixture(scope="class")
+    def physical(self):
+        return PhysicalPage(channel=0, die=1, plane=0, block=3, page=7)
+
+    def test_fresh_read_needs_no_retry(self, backend, physical):
+        behaviour = backend.read_behaviour(physical, PageType.CSB,
+                                           pe_cycles=0, retention_months=0.0)
+        assert behaviour.retry_steps == 0
+        assert behaviour.retry_steps_reduced == 0
+        assert not behaviour.reduced_timing_fallback
+
+    def test_aged_read_needs_many_steps(self, backend, physical):
+        behaviour = backend.read_behaviour(physical, PageType.CSB,
+                                           pe_cycles=2000, retention_months=12.0)
+        assert behaviour.retry_steps >= 15
+        # AR2's reduced timing never loses more than a couple of extra steps.
+        assert behaviour.retry_steps_reduced >= behaviour.retry_steps
+        assert behaviour.retry_steps_reduced <= behaviour.retry_steps + 3
+
+    def test_results_are_cached(self, backend, physical):
+        first = backend.read_behaviour(physical, PageType.LSB, 1000, 6.0)
+        size_after_first = backend.cache_size
+        second = backend.read_behaviour(physical, PageType.LSB, 1000, 6.0)
+        assert first == second
+        assert backend.cache_size == size_after_first
+
+    def test_blocks_differ_by_process_variation(self, backend):
+        first = backend.block_variation(PhysicalPage(0, 0, 0, 1, 0))
+        second = backend.block_variation(PhysicalPage(1, 2, 1, 7, 0))
+        assert first != second
+
+    def test_monotonic_in_retention(self, backend, physical):
+        steps = [backend.read_behaviour(physical, PageType.CSB, 1000, months).retry_steps
+                 for months in (0.0, 3.0, 6.0, 12.0)]
+        assert steps == sorted(steps)
+
+    def test_default_rpt_is_lazily_built(self):
+        backend = FlashBackend(SsdConfig.tiny())
+        assert isinstance(backend.rpt, ReadTimingParameterTable)

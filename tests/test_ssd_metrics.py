@@ -1,0 +1,89 @@
+"""Tests for the simulation metrics."""
+
+import pytest
+
+from repro.ssd.metrics import (
+    SimulationMetrics,
+    improvement_over,
+    normalized_response_times,
+)
+
+
+def make_metrics(read_times, write_times=()):
+    metrics = SimulationMetrics()
+    for value in read_times:
+        metrics.record_read(value, retry_steps=2)
+    for value in write_times:
+        metrics.record_write(value)
+    return metrics
+
+
+class TestRecording:
+    def test_mean_and_percentiles(self):
+        metrics = make_metrics([100.0, 200.0, 300.0], [50.0])
+        assert metrics.mean_response_time_us("read") == pytest.approx(200.0)
+        assert metrics.mean_response_time_us("write") == pytest.approx(50.0)
+        assert metrics.mean_response_time_us("all") == pytest.approx(162.5)
+        assert metrics.max_response_time_us() == 300.0
+        assert metrics.percentile_response_time_us(50.0, "read") == 200.0
+
+    def test_retry_steps_tracking(self):
+        metrics = make_metrics([10.0, 20.0])
+        assert metrics.mean_retry_steps() == 2.0
+
+    def test_counts(self):
+        metrics = make_metrics([1.0, 2.0], [3.0])
+        assert metrics.host_reads == 2
+        assert metrics.host_writes == 1
+
+    def test_empty_metrics_are_zero(self):
+        metrics = SimulationMetrics()
+        assert metrics.mean_response_time_us() == 0.0
+        assert metrics.percentile_response_time_us(99.0) == 0.0
+        assert metrics.mean_retry_steps() == 0.0
+        assert metrics.die_utilization() == 0.0
+
+    def test_negative_values_rejected(self):
+        metrics = SimulationMetrics()
+        with pytest.raises(ValueError):
+            metrics.record_read(-1.0, 0)
+        with pytest.raises(ValueError):
+            metrics.record_write(-1.0)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_metrics([1.0]).mean_response_time_us("bogus")
+
+    def test_die_utilization(self):
+        metrics = make_metrics([1.0])
+        metrics.simulated_time_us = 1000.0
+        metrics.record_die_busy((0, 0), 500.0)
+        metrics.record_die_busy((0, 1), 250.0)
+        assert metrics.die_utilization() == pytest.approx(0.375)
+
+    def test_summary_keys(self):
+        summary = make_metrics([1.0]).summary()
+        assert "mean_response_us" in summary
+        assert "mean_retry_steps" in summary
+
+
+class TestNormalization:
+    def test_normalized_response_times(self):
+        results = {"Baseline": make_metrics([200.0]),
+                   "PnAR2": make_metrics([100.0])}
+        normalized = normalized_response_times(results)
+        assert normalized["Baseline"] == pytest.approx(1.0)
+        assert normalized["PnAR2"] == pytest.approx(0.5)
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(KeyError):
+            normalized_response_times({"PnAR2": make_metrics([100.0])})
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_response_times({"Baseline": SimulationMetrics()})
+
+    def test_improvement_over(self):
+        results = {"PSO": make_metrics([200.0]),
+                   "PSO+PnAR2": make_metrics([150.0])}
+        assert improvement_over(results, "PSO+PnAR2", "PSO") == pytest.approx(0.25)

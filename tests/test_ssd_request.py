@@ -1,0 +1,89 @@
+"""Tests for host requests, flash transactions and failure-path behaviour."""
+
+import pytest
+
+from repro.nand.voltage import ReadRetryTable
+from repro.ssd.config import SsdConfig
+from repro.ssd.controller import SsdSimulator
+from repro.ssd.flash_backend import FlashBackend
+from repro.ssd.ftl import PhysicalPage
+from repro.ssd.request import (
+    FlashTransaction,
+    HostRequest,
+    RequestKind,
+    TransactionKind,
+)
+from repro.nand.geometry import PageType
+
+
+class TestHostRequest:
+    def test_lpns_and_pending_pages(self):
+        request = HostRequest(arrival_us=10.0, kind=RequestKind.READ,
+                              start_lpn=5, page_count=3)
+        assert request.lpns == [5, 6, 7]
+        assert request.pending_pages == 3
+        assert request.is_read
+
+    def test_response_time(self):
+        request = HostRequest(arrival_us=10.0, kind=RequestKind.WRITE,
+                              start_lpn=0)
+        assert request.response_time_us is None
+        request.completion_us = 35.0
+        assert request.response_time_us == pytest.approx(25.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HostRequest(arrival_us=-1.0, kind=RequestKind.READ, start_lpn=0)
+        with pytest.raises(ValueError):
+            HostRequest(arrival_us=0.0, kind=RequestKind.READ, start_lpn=0,
+                        page_count=0)
+        with pytest.raises(ValueError):
+            HostRequest(arrival_us=0.0, kind=RequestKind.READ, start_lpn=-3)
+
+    def test_request_ids_unique(self):
+        first = HostRequest(0.0, RequestKind.READ, 0)
+        second = HostRequest(0.0, RequestKind.READ, 0)
+        assert first.request_id != second.request_id
+
+
+class TestFlashTransaction:
+    def test_kind_classification(self):
+        assert TransactionKind.GC_READ.is_read
+        assert TransactionKind.GC_PROGRAM.is_background
+        assert not TransactionKind.PROGRAM.is_background
+
+    def test_waiting_time(self):
+        transaction = FlashTransaction(kind=TransactionKind.READ, lpn=1,
+                                       channel=0, die=0, plane=0, block=0,
+                                       page=0, issue_us=100.0)
+        assert transaction.waiting_time_us is None
+        transaction.service_start_us = 160.0
+        assert transaction.waiting_time_us == pytest.approx(60.0)
+        assert transaction.die_key() == (0, 0)
+
+
+class TestReadFailurePath:
+    """A retry table too short for the V_TH shift: the read fails outright
+    (footnote 13) and the backend charges the full table walk."""
+
+    def test_backend_charges_full_table_on_failure(self, default_rpt):
+        config = SsdConfig.tiny()
+        tiny_table = ReadRetryTable(num_entries=4)
+        backend = FlashBackend(config, rpt=default_rpt, retry_table=tiny_table)
+        behaviour = backend.read_behaviour(
+            PhysicalPage(0, 0, 0, 1, 3), PageType.CSB,
+            pe_cycles=2000, retention_months=12.0)
+        assert behaviour.retry_steps == tiny_table.num_entries
+
+    def test_simulation_survives_unreadable_pages(self, default_rpt):
+        config = SsdConfig.tiny()
+        simulator = SsdSimulator(config, policy="Baseline", rpt=default_rpt)
+        simulator.backend.retry_table = ReadRetryTable(num_entries=4)
+        simulator.backend._cache.clear()
+        simulator.precondition(pe_cycles=2000, retention_months=12.0)
+        requests = [HostRequest(i * 200.0, RequestKind.READ, i)
+                    for i in range(10)]
+        result = simulator.run(requests)
+        assert result.metrics.host_reads == 10
+        # Every read paid for the whole (short) table.
+        assert result.metrics.mean_retry_steps() == pytest.approx(4.0)
