@@ -1,29 +1,25 @@
 #!/usr/bin/env python3
 """System-level comparison of read-retry policies on Table 2 workloads.
 
-A scaled-down version of Figures 14 and 15: pick some of the paper's twelve
-workloads and operating conditions, simulate every SSD configuration, and
-print the normalized response times plus the headline reductions.
+A scaled-down version of Figures 14 and 15 through the sweep runner: pick
+some of the paper's twelve workloads and an operating condition, simulate
+every registered SSD configuration (optionally across a multiprocessing
+pool), and print the normalized response times plus the headline
+reductions.
 
 Usage::
 
     python examples/policy_comparison.py --workloads usr_1 YCSB-C stg_0 \
-        --pe-cycles 1000 --retention-months 6 --requests 400
+        --pe-cycles 1000 --retention-months 6 --requests 400 --processes 4
 """
 
 import argparse
 
 import numpy as np
 
-from repro.analysis import format_table
-from repro.experiments.common import (
-    default_experiment_config,
-    normalize_grid,
-    run_workload_grid,
-)
+from repro.sim import SweepRunner, default_registry
+from repro.ssd.config import SsdConfig
 from repro.workloads.catalog import workload_names
-
-POLICIES = ("Baseline", "PR2", "AR2", "PnAR2", "PSO", "PSO+PnAR2", "NoRR")
 
 
 def main() -> None:
@@ -34,29 +30,28 @@ def main() -> None:
     parser.add_argument("--retention-months", type=float, default=6.0)
     parser.add_argument("--requests", type=int, default=400)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--processes", type=int, default=1,
+                        help="sweep worker processes")
     args = parser.parse_args()
 
-    config = default_experiment_config()
+    config = SsdConfig.scaled(blocks_per_plane=24, pages_per_block=48)
+    policies = default_registry().names()
     print(f"SSD: {config.channels} channels x {config.dies_per_channel} dies "
           f"x {config.planes_per_die} planes, "
           f"{config.capacity_gib:.1f} GiB logical (scaled-down geometry)")
     print(f"Condition: {args.pe_cycles} P/E cycles, "
           f"{args.retention_months:g}-month retention age\n")
 
-    grid = run_workload_grid(
-        POLICIES, args.workloads,
+    sweep = SweepRunner(config=config, processes=args.processes).run(
+        policies=policies, workloads=args.workloads,
         conditions=((args.pe_cycles, args.retention_months),),
-        num_requests=args.requests, config=config, seed=args.seed)
-    rows = list(normalize_grid(grid))
-    print(format_table([{k: row[k] for k in
-                         ("workload", "policy", "normalized_response_time",
-                          "mean_response_us")}
-                        for row in rows]))
+        num_requests=args.requests, seed=args.seed)
+    print(sweep.table())
 
     print("\nMean response-time reduction vs Baseline:")
-    for policy in POLICIES:
-        values = [1.0 - row["normalized_response_time"] for row in rows
-                  if row["policy"] == policy]
+    for policy in policies:
+        values = [1.0 - row["normalized_response_time"]
+                  for row in sweep.filter_rows(policy=policy)]
         print(f"  {policy:<10} {float(np.mean(values)):>7.1%}")
 
 

@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Quickstart: compare the read-retry policies on a small simulated SSD.
+"""Quickstart: compare the read-retry policies with the session API.
 
-Runs a read-dominant synthetic workload against the five SSD configurations
-of Figure 14 (Baseline, PR2, AR2, PnAR2 and the ideal NoRR) under a moderately
-aged operating condition, and prints the mean response time of each.
+Builds one :class:`repro.sim.Simulation`: the five SSD configurations of
+Figure 14 (Baseline, PR2, AR2, PnAR2 and the ideal NoRR) are taken from the
+policy registry, run against a read-dominant synthetic workload under a
+moderately aged operating condition, and the mean response time of each is
+printed.
 
 Usage::
 
@@ -12,7 +14,8 @@ Usage::
 
 import sys
 
-from repro import quick_ssd_comparison
+from repro.sim import Simulation, default_registry
+from repro.ssd.config import SsdConfig
 
 
 def main() -> None:
@@ -20,17 +23,20 @@ def main() -> None:
 
     print("Simulating", num_requests, "requests at 1K P/E cycles and a "
           "6-month retention age...\n")
-    results = quick_ssd_comparison(num_requests=num_requests,
-                                   read_ratio=0.95,
-                                   pe_cycles=1000,
-                                   retention_months=6.0,
-                                   seed=42)
+    run = (Simulation(SsdConfig.scaled(blocks_per_plane=24,
+                                       pages_per_block=48))
+           .policies(default_registry().names(tag="fig14"))
+           .synthetic(read_ratio=0.95, cold_ratio=0.7,
+                      mean_interarrival_us=300.0,
+                      n=num_requests, seed=42)
+           .condition(pec=1000, months=6.0)
+           .run())
 
-    baseline = results["Baseline"]
+    baseline = run.mean_response_us("Baseline")
     print(f"{'configuration':<12} {'mean response [us]':>20} {'vs Baseline':>12}")
     print("-" * 48)
-    for name in ("Baseline", "PR2", "AR2", "PnAR2", "NoRR"):
-        mean = results[name]
+    for name, result in run:
+        mean = result.mean_response_time_us
         reduction = 1.0 - mean / baseline
         print(f"{name:<12} {mean:>20.1f} {reduction:>11.1%}")
 

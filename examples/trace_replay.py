@@ -16,9 +16,8 @@ import argparse
 import os
 import tempfile
 
-from repro.core.rpt import ReadTimingParameterTable
+from repro.sim import Simulation
 from repro.ssd.config import SsdConfig
-from repro.ssd.controller import SsdSimulator
 from repro.workloads import (
     generate_workload,
     read_msrc_csv,
@@ -66,14 +65,14 @@ def main() -> None:
     print(f"Parsed {len(records)} records "
           f"({sum(r.is_read for r in records)} reads)")
 
-    rpt = ReadTimingParameterTable.default()
-    for policy in ("Baseline", "PnAR2"):
-        requests = records_to_requests(records, page_size_bytes=page_size,
-                                       logical_pages=config.logical_pages)
-        simulator = SsdSimulator(config, policy=policy, rpt=rpt)
-        simulator.precondition(pe_cycles=args.pe_cycles,
-                               retention_months=args.retention_months)
-        result = simulator.run(requests)
+    requests = records_to_requests(records, page_size_bytes=page_size,
+                                   logical_pages=config.logical_pages)
+    run = (Simulation(config)
+           .policies("Baseline", "PnAR2")
+           .requests(requests)
+           .condition(pec=args.pe_cycles, months=args.retention_months)
+           .run())
+    for policy, result in run:
         print(f"  {policy:<9} mean response "
               f"{result.metrics.mean_response_time_us():8.1f} us | "
               f"p99 {result.metrics.percentile_response_time_us(99):8.1f} us | "

@@ -21,14 +21,41 @@ the ASPLOS 2021 paper by Park et al.:
   baselines (regular read-retry, PSO, and the ideal NoRR).
 * :mod:`repro.workloads` — trace format and synthetic generators for the
   twelve MSRC/YCSB workloads of Table 2.
-* :mod:`repro.experiments` — one harness per table/figure of the paper.
+* :mod:`repro.sim` — **the session API**: policy registry, fluent
+  :class:`~repro.sim.Simulation` builder, and the parallel
+  :class:`~repro.sim.SweepRunner`.
+* :mod:`repro.experiments` — one harness per table/figure of the paper,
+  built on :mod:`repro.sim`.
 
 Quickstart
 ----------
->>> from repro import quick_ssd_comparison
->>> result = quick_ssd_comparison(num_requests=200, seed=7)
->>> sorted(result)
-['AR2', 'Baseline', 'NoRR', 'PR2', 'PnAR2']
+Run one simulation cell with the fluent builder — pick policies from the
+registry by name, a Table 2 workload, and an operating condition:
+
+>>> from repro.sim import Simulation
+>>> run = (Simulation()
+...        .policies("Baseline", "PnAR2", "NoRR")
+...        .workload("ycsb-c", n=200, seed=7)
+...        .condition(pec=1000, months=6)
+...        .run())
+>>> sorted(run.policies)
+['Baseline', 'NoRR', 'PnAR2']
+>>> run.normalized()["NoRR"] < 1.0
+True
+
+Grids of (workload x condition x policy) cells go through
+:class:`repro.sim.SweepRunner`, which fans cells out over a multiprocessing
+pool and returns tidy rows:
+
+>>> from repro.sim import SweepRunner  # doctest: +SKIP
+>>> sweep = SweepRunner(processes=4).run(
+...     policies=("Baseline", "PnAR2", "NoRR"),
+...     workloads=("usr_1", "YCSB-C"),
+...     conditions=((1000, 6.0), (2000, 12.0)),
+...     num_requests=400)  # doctest: +SKIP
+>>> print(sweep.table())  # doctest: +SKIP
+
+``python -m repro`` runs a tiny sweep and prints its table, as a smoke test.
 """
 
 from repro.version import __version__
@@ -44,10 +71,10 @@ def quick_ssd_comparison(num_requests=1000, read_ratio=0.9, pe_cycles=1000,
     """Run a tiny end-to-end comparison of the read-retry policies.
 
     This convenience helper builds a small SSD, generates a synthetic
-    workload and returns the mean response time (in microseconds) of each
-    policy.  It is intentionally small so it can be used in documentation
-    examples and smoke tests; the full evaluation lives in
-    :mod:`repro.experiments`.
+    workload through the :class:`repro.sim.Simulation` builder and returns
+    the mean response time (in microseconds) of each Figure 14 policy.  It
+    is intentionally small so it can be used in documentation examples and
+    smoke tests; the full evaluation lives in :mod:`repro.experiments`.
 
     :param num_requests: number of host requests to simulate.
     :param read_ratio: fraction of requests that are reads.
@@ -57,13 +84,17 @@ def quick_ssd_comparison(num_requests=1000, read_ratio=0.9, pe_cycles=1000,
     :return: mapping from policy name to mean response time in microseconds.
     """
     # Imported lazily so that ``import repro`` stays cheap.
-    from repro.experiments.common import compare_policies
+    from repro.sim.registry import default_registry
+    from repro.sim.session import Simulation
+    from repro.ssd.config import SsdConfig
+    from repro.workloads.synthetic import WorkloadShape
 
-    return compare_policies(
-        policies=("Baseline", "PR2", "AR2", "PnAR2", "NoRR"),
-        num_requests=num_requests,
-        read_ratio=read_ratio,
-        pe_cycles=pe_cycles,
-        retention_months=retention_months,
-        seed=seed,
-    )
+    config = SsdConfig.scaled(blocks_per_plane=24, pages_per_block=48)
+    run = (Simulation(config)
+           .policies(default_registry().names(tag="fig14"))
+           .synthetic(WorkloadShape(read_ratio=read_ratio, cold_ratio=0.7,
+                                    mean_interarrival_us=300.0),
+                      n=num_requests, seed=seed)
+           .condition(pec=pe_cycles, months=retention_months)
+           .run())
+    return {name: result.mean_response_time_us for name, result in run}

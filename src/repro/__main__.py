@@ -1,0 +1,64 @@
+"""``python -m repro`` — smoke-test entry point.
+
+Runs a tiny (workload x condition x policy) sweep through the session API
+and prints the tidy result table, exercising the policy registry, the
+workload catalog, the SSD simulator and the sweep runner end to end in a
+few seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.sim.registry import default_registry
+from repro.sim.sweep import SweepRunner
+from repro.ssd.config import SsdConfig
+from repro.workloads.catalog import workload_names
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run a tiny read-retry policy sweep as a smoke test.")
+    parser.add_argument("--workloads", nargs="+", default=["usr_1", "stg_0"],
+                        choices=workload_names(),
+                        help="Table 2 workload names")
+    parser.add_argument("--requests", type=int, default=150,
+                        help="host requests per cell")
+    parser.add_argument("--processes", type=int, default=1,
+                        help="sweep worker processes")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    if args.processes < 1:
+        parser.error("--processes must be at least 1")
+    if args.requests < 1:
+        parser.error("--requests must be at least 1")
+
+    registry = default_registry()
+    policies = registry.names(tag="fig14")
+    conditions = ((0, 0.0), (1000, 6.0), (2000, 12.0))
+    config = SsdConfig.scaled(blocks_per_plane=24, pages_per_block=48)
+
+    print(f"repro smoke sweep: {len(args.workloads)} workloads x "
+          f"{len(conditions)} conditions x {len(policies)} policies, "
+          f"{args.requests} requests per cell, "
+          f"{args.processes} process(es)")
+    started = time.perf_counter()
+    sweep = SweepRunner(config=config, processes=args.processes).run(
+        policies=policies, workloads=args.workloads, conditions=conditions,
+        num_requests=args.requests, seed=args.seed)
+    elapsed = time.perf_counter() - started
+
+    print()
+    print(sweep.table())
+    print()
+    print(f"{len(sweep.cells)} cells in {elapsed:.1f} s; registered "
+          f"policies: {', '.join(registry.names())}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

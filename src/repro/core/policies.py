@@ -19,13 +19,14 @@ every die of a simulated SSD.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.core.latency import ReadLatencyBreakdown, ReadLatencyModel
 from repro.core.rpt import ReadTimingParameterTable
 from repro.errors.condition import OperatingCondition
 from repro.nand.geometry import PageType
 from repro.nand.timing import TimingParameters
+from repro.sim.registry import DEFAULT_REGISTRY, register_policy
 
 
 class ReadRetryPolicy(abc.ABC):
@@ -79,6 +80,7 @@ class ReadRetryPolicy(abc.ABC):
         return f"{type(self).__name__}()"
 
 
+@register_policy(tags=("fig14", "fig15"))
 class BaselinePolicy(ReadRetryPolicy):
     """Regular read-retry of a high-end SSD (Figure 12(a))."""
 
@@ -90,6 +92,7 @@ class BaselinePolicy(ReadRetryPolicy):
         return self.latency_model.baseline(steps, page_type)
 
 
+@register_policy(tags=("fig14",))
 class PR2Policy(ReadRetryPolicy):
     """Pipelined Read-Retry: retry steps overlap via CACHE READ (Section 6.1)."""
 
@@ -101,6 +104,7 @@ class PR2Policy(ReadRetryPolicy):
         return self.latency_model.pr2(steps, page_type)
 
 
+@register_policy(tags=("fig14",))
 class AR2Policy(ReadRetryPolicy):
     """Adaptive Read-Retry: retry steps use an RPT-reduced tPRE (Section 6.2)."""
 
@@ -119,6 +123,7 @@ class AR2Policy(ReadRetryPolicy):
                                       self.reduced_timing_for(condition))
 
 
+@register_policy(tags=("fig14",))
 class PnAR2Policy(ReadRetryPolicy):
     """PR2 and AR2 combined (the paper's full proposal, Equation (5))."""
 
@@ -137,6 +142,7 @@ class PnAR2Policy(ReadRetryPolicy):
                                         self.reduced_timing_for(condition))
 
 
+@register_policy(tags=("fig14", "fig15"))
 class NoRRPolicy(ReadRetryPolicy):
     """Ideal SSD where read-retry never occurs (upper bound of Section 7.2)."""
 
@@ -152,6 +158,7 @@ class NoRRPolicy(ReadRetryPolicy):
         return self.latency_model.no_retry(page_type)
 
 
+@register_policy(tags=("fig15",))
 class PSOPolicy(ReadRetryPolicy):
     """Process-Similarity-aware Optimization (Shim et al. [84], Section 7.3).
 
@@ -211,54 +218,28 @@ class PSOPolicy(ReadRetryPolicy):
                                         self.reduced_timing_for(condition))
 
 
-#: Factory table of the SSD configurations compared in Figures 14 and 15.
-_POLICY_FACTORIES = {
-    "baseline": lambda timing, rpt: BaselinePolicy(timing, rpt),
-    "pr2": lambda timing, rpt: PR2Policy(timing, rpt),
-    "ar2": lambda timing, rpt: AR2Policy(timing, rpt),
-    "pnar2": lambda timing, rpt: PnAR2Policy(timing, rpt),
-    "norr": lambda timing, rpt: NoRRPolicy(timing, rpt),
-    "pso": lambda timing, rpt: PSOPolicy(timing, rpt, mechanism="baseline"),
-    "pso+pnar2": lambda timing, rpt: PSOPolicy(timing, rpt, mechanism="pnar2"),
-}
-
-#: Canonical display names, in the order the paper's figures list them.
-_CANONICAL_NAMES = {
-    "baseline": "Baseline",
-    "pr2": "PR2",
-    "ar2": "AR2",
-    "pnar2": "PnAR2",
-    "norr": "NoRR",
-    "pso": "PSO",
-    "pso+pnar2": "PSO+PnAR2",
-}
+# The PSO+PnAR2 configuration of Figure 15 is PSOPolicy wrapping the PnAR2
+# latency mechanism; it registers as its own named configuration.
+DEFAULT_REGISTRY.register(
+    "PSO+PnAR2",
+    lambda timing=None, rpt=None, **kwargs: PSOPolicy(
+        timing=timing, rpt=rpt, mechanism="pnar2", **kwargs),
+    tags=("fig15",),
+    doc="PSO with PnAR2 retry steps (Figure 15's combined configuration).")
 
 
 def available_policies() -> Tuple[str, ...]:
-    """Names of every SSD configuration that can be simulated."""
-    return tuple(_CANONICAL_NAMES.values())
+    """Names of every registered SSD configuration."""
+    return DEFAULT_REGISTRY.names()
 
 
 def get_policy(name: str, timing: TimingParameters = None,
                rpt: ReadTimingParameterTable = None) -> ReadRetryPolicy:
-    """Instantiate a policy by (case-insensitive) name."""
-    key = name.strip().lower()
-    if key not in _POLICY_FACTORIES:
-        raise ValueError(
-            f"unknown policy {name!r}; available: {sorted(_CANONICAL_NAMES.values())}")
-    return _POLICY_FACTORIES[key](timing, rpt)
+    """Instantiate a policy by (case-insensitive) registry name."""
+    return DEFAULT_REGISTRY.create(name, timing=timing, rpt=rpt)
 
 
 def policy_suite(names=None, timing: TimingParameters = None,
                  rpt: ReadTimingParameterTable = None) -> Dict[str, ReadRetryPolicy]:
     """Instantiate several policies sharing one timing model and RPT."""
-    names = names or available_policies()
-    shared_rpt: Optional[ReadTimingParameterTable] = rpt
-    suite = {}
-    for name in names:
-        policy = get_policy(name, timing=timing, rpt=shared_rpt)
-        if policy.uses_reduced_timing and shared_rpt is None:
-            # Build the RPT once and share it across the suite.
-            shared_rpt = policy.rpt
-        suite[_CANONICAL_NAMES[name.strip().lower()]] = policy
-    return suite
+    return DEFAULT_REGISTRY.suite(names, timing=timing, rpt=rpt)

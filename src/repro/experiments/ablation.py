@@ -21,22 +21,21 @@ from repro.core.policies import get_policy
 from repro.core.rpt import ReadTimingParameterTable
 from repro.experiments.common import default_experiment_config
 from repro.experiments.reporting import ExperimentResult
+from repro.sim.session import Simulation
 from repro.ssd.config import SsdConfig
-from repro.ssd.controller import simulate_policies
 from repro.ssd.metrics import normalized_response_times
-from repro.workloads.catalog import generate_workload
 
 
 def _run_cell(policies, config, workload, condition, num_requests, seed, rpt):
-    footprint = int(config.logical_pages * 0.8)
-
-    def requests_factory():
-        return generate_workload(workload, num_requests, footprint, seed=seed,
-                                 mean_interarrival_us=700.0)
-
     pec, months = condition
-    return simulate_policies(policies, requests_factory, config=config,
-                             pe_cycles=pec, retention_months=months, rpt=rpt)
+    run = (Simulation(config)
+           .policies(policies)
+           .workload(workload, n=num_requests, seed=seed,
+                     mean_interarrival_us=700.0)
+           .condition(pec=pec, months=months)
+           .rpt(rpt)
+           .run())
+    return run.results
 
 
 def rpt_adaptivity(workload: str = "usr_1",

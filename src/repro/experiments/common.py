@@ -1,15 +1,26 @@
-"""Shared plumbing for the system-level experiments (Figures 14 and 15)."""
+"""Shared plumbing for the system-level experiments (Figures 14 and 15).
+
+.. deprecated::
+    The helpers in this module are thin compatibility shims over the
+    session API in :mod:`repro.sim`.  New code should use
+    :class:`repro.sim.Simulation` for single cells and
+    :class:`repro.sim.SweepRunner` for grids; the policy suites previously
+    hardcoded here (``FIGURE14_POLICIES`` / ``FIGURE15_POLICIES``) now come
+    from the policy registry's figure tags.
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, Sequence, Tuple
 
 from repro.core.rpt import ReadTimingParameterTable
+from repro.sim.registry import default_registry
+from repro.sim.session import Simulation
+from repro.sim.sweep import SweepRunner, rows_from_cells
 from repro.ssd.config import SsdConfig
-from repro.ssd.controller import SimulationResult, simulate_policies
-from repro.ssd.metrics import normalized_response_times
-from repro.workloads.catalog import WORKLOAD_CATALOG, generate_workload
-from repro.workloads.synthetic import SyntheticWorkload, WorkloadShape
+from repro.ssd.controller import SimulationResult
+from repro.workloads.synthetic import WorkloadShape
 
 #: The operating-condition grid of Figures 14/15: P/E cycles (x1000) and
 #: retention ages (months).  The paper sweeps 0-3K PEC and 0/6/12 months; the
@@ -20,9 +31,17 @@ DEFAULT_CONDITION_GRID: Tuple[Tuple[int, float], ...] = (
     (2000, 0.0), (2000, 6.0), (2000, 12.0),
 )
 
-#: SSD configurations compared in Figure 14 (and Figure 15 adds the PSO pair).
-FIGURE14_POLICIES = ("Baseline", "PR2", "AR2", "PnAR2", "NoRR")
-FIGURE15_POLICIES = ("Baseline", "PSO", "PSO+PnAR2", "NoRR")
+#: SSD configurations compared in Figure 14 (and Figure 15 adds the PSO
+#: pair).  Sourced from the policy registry's tags — policies declare their
+#: figure membership where they register, nothing is hardcoded here.
+FIGURE14_POLICIES = default_registry().names(tag="fig14")
+FIGURE15_POLICIES = default_registry().names(tag="fig15")
+
+
+def _deprecated(replacement: str) -> None:
+    warnings.warn(
+        f"repro.experiments.common is deprecated; use {replacement} instead",
+        DeprecationWarning, stacklevel=3)
 
 
 def default_experiment_config(**overrides) -> SsdConfig:
@@ -42,54 +61,37 @@ def run_workload_grid(policies: Sequence[str],
                       mean_interarrival_us: float = 700.0):
     """Run every (workload, condition) cell against every policy.
 
-    :param mean_interarrival_us: request inter-arrival time of the generated
-        streams.  The default keeps the Baseline SSD below saturation even
-        at the worst operating condition (about 20 retry steps per read), so
-        the normalized response times measure the mechanisms rather than a
-        queueing collapse — the paper's week-long enterprise traces are
-        similarly far from saturating the device.
+    .. deprecated:: use :meth:`repro.sim.SweepRunner.run`, which also
+        supports multiprocessing and stream caching.
+
     :return: nested dict ``results[workload][(pec, months)][policy]`` of
         :class:`SimulationResult`.
     """
-    config = config or default_experiment_config()
-    rpt = rpt or ReadTimingParameterTable.default()
-    footprint = int(config.logical_pages * 0.8)
-    results: Dict[str, Dict[Tuple[int, float], Dict[str, SimulationResult]]] = {}
-    for workload in workloads:
-        if workload not in WORKLOAD_CATALOG:
-            raise KeyError(f"unknown workload {workload!r}")
-        results[workload] = {}
-        for pec, months in conditions:
-            def requests_factory(name=workload):
-                return generate_workload(
-                    name, num_requests, footprint, seed=seed,
-                    mean_interarrival_us=mean_interarrival_us)
-            cell = simulate_policies(policies, requests_factory, config=config,
-                                     pe_cycles=pec, retention_months=months,
-                                     rpt=rpt)
-            results[workload][(pec, months)] = cell
-    return results
+    _deprecated("repro.sim.SweepRunner")
+    runner = SweepRunner(config=config or default_experiment_config(),
+                         rpt=rpt, mean_interarrival_us=mean_interarrival_us)
+    sweep = runner.run(policies=policies, workloads=workloads,
+                       conditions=conditions, num_requests=num_requests,
+                       seed=seed)
+    return sweep.to_grid()
 
 
 def normalize_grid(results, baseline: str = "Baseline") -> Iterable[dict]:
-    """Flatten a grid of results into normalized-response-time rows."""
+    """Flatten a grid of results into normalized-response-time rows.
+
+    .. deprecated:: use :attr:`repro.sim.SweepResult.rows`.
+    """
+    from repro.sim.spec import Condition, WorkloadSpec
+
+    _deprecated("repro.sim.SweepResult.rows")
     for workload, by_condition in results.items():
-        read_dominant = WORKLOAD_CATALOG[workload].read_dominant
-        for (pec, months), cell in by_condition.items():
-            normalized = normalized_response_times(
-                {name: result.metrics for name, result in cell.items()},
-                baseline=baseline)
-            for policy, value in normalized.items():
-                yield {
-                    "workload": workload,
-                    "class": "read-dominant" if read_dominant else "write-dominant",
-                    "pe_cycles": pec,
-                    "retention_months": months,
-                    "policy": policy,
-                    "normalized_response_time": round(value, 4),
-                    "mean_response_us": round(
-                        cell[policy].metrics.mean_response_time_us(), 2),
-                }
+        spec = WorkloadSpec(name=workload)
+        conditions = [Condition.coerce(key) for key in by_condition]
+        cells = {(workload,) + condition.as_tuple(): by_condition[key]
+                 for key, condition in zip(by_condition, conditions)}
+        for row in rows_from_cells([spec], conditions, cells,
+                                   baseline=baseline):
+            yield row
 
 
 def compare_policies(policies: Sequence[str] = FIGURE14_POLICIES,
@@ -101,19 +103,16 @@ def compare_policies(policies: Sequence[str] = FIGURE14_POLICIES,
                      config: SsdConfig = None) -> Dict[str, float]:
     """Small end-to-end comparison used by ``repro.quick_ssd_comparison``.
 
+    .. deprecated:: use the :class:`repro.sim.Simulation` builder.
+
     :return: mapping from policy name to mean response time in microseconds.
     """
-    config = config or default_experiment_config()
-    footprint = int(config.logical_pages * 0.8)
+    _deprecated("repro.sim.Simulation")
     shape = WorkloadShape(read_ratio=read_ratio, cold_ratio=0.7,
                           mean_interarrival_us=300.0)
-
-    def requests_factory():
-        return SyntheticWorkload(shape, footprint,
-                                 seed=seed).generate(num_requests)
-
-    results = simulate_policies(policies, requests_factory, config=config,
-                                pe_cycles=pe_cycles,
-                                retention_months=retention_months)
-    return {name: result.mean_response_time_us
-            for name, result in results.items()}
+    run = (Simulation(config or default_experiment_config())
+           .policies(policies)
+           .synthetic(shape, n=num_requests, seed=seed)
+           .condition(pec=pe_cycles, months=retention_months)
+           .run())
+    return {name: result.mean_response_time_us for name, result in run}

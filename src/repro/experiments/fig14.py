@@ -15,12 +15,11 @@ import numpy as np
 
 from repro.experiments.common import (
     DEFAULT_CONDITION_GRID,
-    FIGURE14_POLICIES,
     default_experiment_config,
-    normalize_grid,
-    run_workload_grid,
 )
 from repro.experiments.reporting import ExperimentResult
+from repro.sim.registry import default_registry
+from repro.sim.sweep import SweepRunner
 from repro.workloads.catalog import workload_names
 
 
@@ -28,20 +27,23 @@ def run(workloads: Sequence[str] = None,
         conditions: Sequence[Tuple[int, float]] = None,
         num_requests: int = 600,
         seed: int = 0,
-        config=None) -> ExperimentResult:
+        config=None,
+        processes: int = 1) -> ExperimentResult:
     """Run the Figure 14 grid.
 
     The defaults are sized for a laptop-scale run (a subset of conditions
     and a few hundred requests per cell); pass the full grid and more
-    requests to tighten the statistics.
+    requests to tighten the statistics, and ``processes > 1`` to spread the
+    cells over a multiprocessing pool.
     """
     workloads = list(workloads or workload_names())
     conditions = tuple(conditions or DEFAULT_CONDITION_GRID)
     config = config or default_experiment_config()
-    grid = run_workload_grid(FIGURE14_POLICIES, workloads, conditions,
-                             num_requests=num_requests, config=config,
-                             seed=seed)
-    rows = list(normalize_grid(grid, baseline="Baseline"))
+    runner = SweepRunner(config=config, processes=processes)
+    sweep = runner.run(policies=default_registry().names(tag="fig14"),
+                       workloads=workloads, conditions=conditions,
+                       num_requests=num_requests, seed=seed)
+    rows = sweep.rows
 
     def mean_reduction(policy: str) -> float:
         values = [1.0 - row["normalized_response_time"] for row in rows

@@ -15,12 +15,11 @@ import numpy as np
 
 from repro.experiments.common import (
     DEFAULT_CONDITION_GRID,
-    FIGURE15_POLICIES,
     default_experiment_config,
-    normalize_grid,
-    run_workload_grid,
 )
 from repro.experiments.reporting import ExperimentResult
+from repro.sim.registry import default_registry
+from repro.sim.sweep import SweepRunner
 from repro.workloads.catalog import WORKLOAD_CATALOG, workload_names
 
 
@@ -28,14 +27,17 @@ def run(workloads: Sequence[str] = None,
         conditions: Sequence[Tuple[int, float]] = None,
         num_requests: int = 600,
         seed: int = 0,
-        config=None) -> ExperimentResult:
+        config=None,
+        processes: int = 1) -> ExperimentResult:
     workloads = list(workloads or workload_names())
     conditions = tuple(conditions or DEFAULT_CONDITION_GRID)
     config = config or default_experiment_config()
-    grid = run_workload_grid(FIGURE15_POLICIES, workloads, conditions,
-                             num_requests=num_requests, config=config,
-                             seed=seed)
-    rows = list(normalize_grid(grid, baseline="Baseline"))
+    runner = SweepRunner(config=config, processes=processes)
+    sweep = runner.run(policies=default_registry().names(tag="fig15"),
+                       workloads=workloads, conditions=conditions,
+                       num_requests=num_requests, seed=seed)
+    grid = sweep.to_grid()
+    rows = sweep.rows
 
     def reductions_vs_pso(read_dominant: bool):
         """PSO+PnAR2 response-time reduction relative to PSO per cell."""

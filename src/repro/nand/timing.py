@@ -87,6 +87,15 @@ class ReadTimingParameters:
         """Ratio of the default sense-cycle time to this one (>= 1 if faster)."""
         return default.sense_cycle_us / self.sense_cycle_us
 
+    # -- manifest round-trip --------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"t_pre_us": self.t_pre_us, "t_eval_us": self.t_eval_us,
+                "t_disch_us": self.t_disch_us}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ReadTimingParameters":
+        return cls(**payload)
+
 
 @dataclass(frozen=True)
 class TimingParameters:
@@ -135,6 +144,28 @@ class TimingParameters:
     def with_read(self, read: ReadTimingParameters) -> "TimingParameters":
         """Return a copy with a different set of read-phase parameters."""
         return replace(self, read=read)
+
+    # -- manifest round-trip --------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "read": self.read.to_dict(),
+            "t_prog_us": self.t_prog_us,
+            "t_bers_us": self.t_bers_us,
+            "t_set_feature_us": self.t_set_feature_us,
+            "t_reset_read_us": self.t_reset_read_us,
+            "t_dma_page_us": self.t_dma_page_us,
+            "t_ecc_us": self.t_ecc_us,
+            "program_suspend_us": self.program_suspend_us,
+            "erase_suspend_us": self.erase_suspend_us,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TimingParameters":
+        payload = dict(payload)
+        read = payload.pop("read", None)
+        if isinstance(read, dict):
+            read = ReadTimingParameters.from_dict(read)
+        return cls(read=read or ReadTimingParameters(), **payload)
 
     def table1(self) -> dict:
         """Render the parameters as the rows of Table 1 of the paper."""

@@ -1,0 +1,69 @@
+"""``repro.sim`` — the unified simulation session API.
+
+This package is the canonical public surface for running the read-retry
+simulator:
+
+* :mod:`repro.sim.registry` — a :class:`PolicyRegistry` the built-in and
+  third-party read-retry policies register into by name
+  (:func:`register_policy`);
+* :mod:`repro.sim.spec` — :class:`WorkloadSpec` and :class:`Condition`
+  value objects replacing ad-hoc ``requests_factory`` closures;
+* :mod:`repro.sim.session` — the fluent :class:`Simulation` builder
+  (``Simulation(config).policy("PnAR2").workload("ycsb-a", n=800)``
+  ``.condition(pec=2000, months=6).run()``);
+* :mod:`repro.sim.sweep` — :class:`SweepRunner`, which executes
+  (workload x condition x policy) grids across a multiprocessing pool and
+  returns a tidy :class:`SweepResult`.
+
+``Simulation``/``SweepRunner`` are imported lazily (PEP 562) so that
+``repro.core.policies`` can import the registry at module-import time
+without a cycle.
+"""
+
+from __future__ import annotations
+
+from repro.sim.registry import (
+    DEFAULT_REGISTRY,
+    DuplicatePolicyError,
+    PolicyLookupError,
+    PolicyRegistry,
+    default_registry,
+    register_policy,
+)
+
+__all__ = [
+    "Condition",
+    "DEFAULT_REGISTRY",
+    "DuplicatePolicyError",
+    "PolicyLookupError",
+    "PolicyRegistry",
+    "RunResult",
+    "Simulation",
+    "SweepResult",
+    "SweepRunner",
+    "WorkloadSpec",
+    "default_registry",
+    "register_policy",
+]
+
+_LAZY = {
+    "Condition": "repro.sim.spec",
+    "WorkloadSpec": "repro.sim.spec",
+    "Simulation": "repro.sim.session",
+    "RunResult": "repro.sim.session",
+    "SweepRunner": "repro.sim.sweep",
+    "SweepResult": "repro.sim.sweep",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,212 @@
+"""The fluent simulation builder — the canonical way to run the simulator.
+
+>>> from repro.sim import Simulation
+>>> result = (Simulation()
+...           .policy("PnAR2")
+...           .workload("ycsb-a", n=800)
+...           .condition(pec=2000, months=6)
+...           .run())
+>>> result.mean_response_us("PnAR2")  # doctest: +SKIP
+
+A :class:`Simulation` collects *what* to run (policies, a workload spec or
+an explicit request stream, an operating condition) and ``run()`` executes
+each policy against an identical copy of the stream on a freshly
+preconditioned SSD, returning a :class:`RunResult` that carries the
+per-policy :class:`~repro.ssd.controller.SimulationResult` objects plus a
+JSON-able manifest describing the run exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.rpt import ReadTimingParameterTable
+from repro.sim.registry import default_registry
+from repro.sim.spec import Condition, WorkloadSpec
+from repro.ssd.config import SsdConfig
+from repro.ssd.controller import SimulationResult, SsdSimulator
+from repro.ssd.metrics import normalized_response_times
+from repro.ssd.request import HostRequest
+from repro.workloads.synthetic import WorkloadShape
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`Simulation.run` call."""
+
+    config: SsdConfig
+    condition: Condition
+    results: Dict[str, SimulationResult]
+    workload: Optional[WorkloadSpec] = None
+    manifest: dict = field(default_factory=dict)
+
+    # -- access ---------------------------------------------------------------
+    @property
+    def policies(self) -> List[str]:
+        return list(self.results)
+
+    def __getitem__(self, policy: str) -> SimulationResult:
+        return self.results[policy]
+
+    def __iter__(self):
+        return iter(self.results.items())
+
+    @property
+    def result(self) -> SimulationResult:
+        """The single result of a one-policy run."""
+        if len(self.results) != 1:
+            raise ValueError(
+                f"run holds {len(self.results)} policies; index by name")
+        return next(iter(self.results.values()))
+
+    # -- views ----------------------------------------------------------------
+    def mean_response_us(self, policy: Optional[str] = None) -> float:
+        result = self.result if policy is None else self.results[policy]
+        return result.mean_response_time_us
+
+    def normalized(self, baseline: str = "Baseline") -> Dict[str, float]:
+        """Mean response times normalized to ``baseline`` (Figure 14 y-axis)."""
+        return normalized_response_times(
+            {name: result.metrics for name, result in self.results.items()},
+            baseline=baseline)
+
+    def summary_rows(self) -> List[dict]:
+        rows = []
+        for name, result in self.results.items():
+            row = {"policy": name,
+                   "pe_cycles": self.condition.pe_cycles,
+                   "retention_months": self.condition.retention_months}
+            if self.workload is not None:
+                row["workload"] = self.workload.label
+            row.update(result.metrics.summary())
+            rows.append(row)
+        return rows
+
+
+class Simulation:
+    """Fluent builder for one simulator run (one cell, one or more policies)."""
+
+    def __init__(self, config: Optional[SsdConfig] = None):
+        self._config = config or SsdConfig.scaled()
+        self._policies: List[str] = []
+        self._workload: Optional[WorkloadSpec] = None
+        self._requests: Optional[List[HostRequest]] = None
+        self._condition = Condition()
+        self._rpt: Optional[ReadTimingParameterTable] = None
+        self._registry = default_registry()
+
+    # -- builder steps --------------------------------------------------------
+    def policy(self, policy) -> "Simulation":
+        """Add one policy — a registry name or a ready policy instance."""
+        if isinstance(policy, str):
+            self._policies.append(self._registry.canonical_name(policy))
+        else:
+            self._policies.append(policy)
+        return self
+
+    def policies(self, *policies) -> "Simulation":
+        """Add several policies at once (varargs or one iterable)."""
+        if len(policies) == 1 and not isinstance(policies[0], str):
+            try:
+                policies = tuple(policies[0])
+            except TypeError:
+                pass
+        for policy in policies:
+            self.policy(policy)
+        return self
+
+    def workload(self, workload: Union[str, WorkloadSpec, WorkloadShape],
+                 n: Optional[int] = None, seed: Optional[int] = None,
+                 mean_interarrival_us: Optional[float] = None,
+                 footprint_fraction: Optional[float] = None) -> "Simulation":
+        """Select the request stream: a Table 2 name, spec, or synthetic shape."""
+        self._workload = WorkloadSpec.coerce(
+            workload, num_requests=n, seed=seed,
+            mean_interarrival_us=mean_interarrival_us,
+            footprint_fraction=footprint_fraction)
+        self._requests = None
+        return self
+
+    def synthetic(self, shape: Optional[WorkloadShape] = None,
+                  n: int = 500, seed: int = 0,
+                  **shape_kwargs) -> "Simulation":
+        """Use a parametric synthetic stream (``shape_kwargs`` build the shape)."""
+        if shape is None:
+            shape = WorkloadShape(**shape_kwargs)
+        elif shape_kwargs:
+            raise ValueError("pass either a shape or shape keyword arguments")
+        return self.workload(WorkloadSpec(shape=shape, num_requests=n,
+                                          seed=seed))
+
+    def requests(self, requests: Sequence[HostRequest]) -> "Simulation":
+        """Use an explicit, pre-generated request stream (e.g. a real trace)."""
+        self._requests = list(requests)
+        self._workload = None
+        return self
+
+    def condition(self, condition: Union[Condition, tuple, None] = None, *,
+                  pec: int = 0, months: float = 0.0) -> "Simulation":
+        """Set the preconditioned operating condition."""
+        if condition is not None:
+            self._condition = Condition.coerce(condition)
+        else:
+            self._condition = Condition(pe_cycles=pec, retention_months=months)
+        return self
+
+    def rpt(self, rpt: ReadTimingParameterTable) -> "Simulation":
+        """Share a pre-built Read-timing Parameter Table across the run."""
+        self._rpt = rpt
+        return self
+
+    # -- execution ------------------------------------------------------------
+    def manifest(self) -> dict:
+        """JSON-able description of the run (config, workload, condition)."""
+        manifest = {
+            "config": self._config.to_dict(),
+            "condition": self._condition.to_dict(),
+            "policies": [policy if isinstance(policy, str)
+                         else getattr(policy, "name", repr(policy))
+                         for policy in self._policies],
+        }
+        if self._workload is not None:
+            manifest["workload"] = self._workload.to_dict()
+        elif self._requests is not None:
+            manifest["workload"] = {"explicit_requests": len(self._requests)}
+        return manifest
+
+    def _fresh_requests(self) -> List[HostRequest]:
+        if self._workload is not None:
+            return self._workload.build_requests(self._config)
+        if self._requests is not None:
+            # Simulations mutate their requests; hand out pristine copies.
+            return [HostRequest(arrival_us=request.arrival_us,
+                                kind=request.kind,
+                                start_lpn=request.start_lpn,
+                                page_count=request.page_count)
+                    for request in self._requests]
+        raise ValueError("no workload configured; call .workload(), "
+                         ".synthetic() or .requests() first")
+
+    def run(self) -> RunResult:
+        """Execute every configured policy and collect the results."""
+        if not self._policies:
+            raise ValueError("no policy configured; call .policy(name) first")
+        shared_rpt = self._rpt or ReadTimingParameterTable.default()
+        results: Dict[str, SimulationResult] = {}
+        for entry in self._policies:
+            if isinstance(entry, str):
+                policy = self._registry.create(
+                    entry, timing=self._config.timing, rpt=shared_rpt)
+            else:
+                policy = entry
+            simulator = SsdSimulator(config=self._config, policy=policy,
+                                     rpt=shared_rpt)
+            simulator.precondition(
+                pe_cycles=self._condition.pe_cycles,
+                retention_months=self._condition.retention_months)
+            result = simulator.run(self._fresh_requests())
+            results[result.policy_name] = result
+        return RunResult(config=self._config, condition=self._condition,
+                         results=results, workload=self._workload,
+                         manifest=self.manifest())

@@ -1,0 +1,190 @@
+"""Value objects of the session API: workload and operating-condition specs.
+
+The seed's harnesses passed ``requests_factory`` closures around, which made
+run manifests impossible to serialize and forced every caller to re-derive
+footprints and seeds.  These two small frozen dataclasses replace the
+closures: a :class:`WorkloadSpec` says *what stream to generate* (catalog
+name or synthetic shape, request count, seed, arrival rate) and a
+:class:`Condition` says *how aged the SSD is* (P/E cycles, retention age).
+Both round-trip through plain dicts so a run manifest is one
+``json.dumps`` away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Tuple
+from zlib import crc32
+
+from repro.ssd.config import SsdConfig
+from repro.ssd.request import HostRequest
+from repro.workloads.catalog import WORKLOAD_CATALOG, generate_workload
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadShape
+
+#: Case-insensitive view of the Table 2 catalog ("ycsb-a" -> "YCSB-A").
+_CANONICAL_WORKLOADS = {name.lower(): name for name in WORKLOAD_CATALOG}
+
+
+def canonical_workload_name(name: str) -> str:
+    """Resolve a catalog workload name case-insensitively."""
+    canonical = _CANONICAL_WORKLOADS.get(str(name).strip().lower())
+    if canonical is None:
+        raise KeyError(f"unknown workload {name!r}; "
+                       f"available: {list(WORKLOAD_CATALOG)}")
+    return canonical
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A reproducible request-stream specification.
+
+    Either ``name`` references a Table 2 catalog workload, or ``shape``
+    carries an explicit :class:`~repro.workloads.synthetic.WorkloadShape`
+    for a custom synthetic stream (exactly one of the two must be set).
+    """
+
+    name: Optional[str] = None
+    num_requests: int = 800
+    seed: int = 0
+    mean_interarrival_us: Optional[float] = None
+    #: Fraction of the SSD's logical pages the stream touches.
+    footprint_fraction: float = 0.8
+    shape: Optional[WorkloadShape] = None
+
+    def __post_init__(self) -> None:
+        if (self.name is None) == (self.shape is None):
+            raise ValueError("exactly one of 'name' and 'shape' must be set")
+        if self.name is not None:
+            # Canonicalize eagerly so equality/caching is case-insensitive.
+            object.__setattr__(self, "name", canonical_workload_name(self.name))
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        if not 0.0 < self.footprint_fraction <= 1.0:
+            raise ValueError("footprint_fraction must be in (0, 1]")
+        if (self.mean_interarrival_us is not None
+                and self.mean_interarrival_us <= 0):
+            raise ValueError("mean_interarrival_us must be positive")
+
+    @property
+    def label(self) -> str:
+        if self.name is not None:
+            return self.name
+        # Distinct synthetic specs need distinct labels: sweep cells are
+        # keyed by label, and a bare "synthetic" would let two different
+        # shapes silently overwrite each other's cells.  The digest is a
+        # pure function of the spec, so it is stable across processes.
+        digest = crc32(repr(sorted(self.to_dict().items())).encode())
+        return f"synthetic-{digest:08x}"
+
+    def footprint_pages(self, config: SsdConfig) -> int:
+        return int(config.logical_pages * self.footprint_fraction)
+
+    def stream_key(self, config: SsdConfig) -> tuple:
+        """Hashable identity of the generated stream (for caching)."""
+        shape_key = None if self.shape is None else tuple(
+            sorted(asdict(self.shape).items()))
+        return (self.name, shape_key, self.num_requests, self.seed,
+                self.mean_interarrival_us, self.footprint_pages(config))
+
+    def build_requests(self, config: SsdConfig) -> List[HostRequest]:
+        """Generate a fresh request stream for this spec."""
+        footprint = self.footprint_pages(config)
+        if self.name is not None:
+            return generate_workload(
+                self.name, self.num_requests, footprint, seed=self.seed,
+                mean_interarrival_us=self.mean_interarrival_us)
+        shape = self.shape
+        if self.mean_interarrival_us is not None:
+            shape = WorkloadShape(**{**asdict(shape),
+                                     "mean_interarrival_us":
+                                         self.mean_interarrival_us})
+        return SyntheticWorkload(shape, footprint,
+                                 seed=self.seed).generate(self.num_requests)
+
+    # -- manifest round-trip --------------------------------------------------
+    def to_dict(self) -> dict:
+        payload = {
+            "num_requests": self.num_requests,
+            "seed": self.seed,
+            "mean_interarrival_us": self.mean_interarrival_us,
+            "footprint_fraction": self.footprint_fraction,
+        }
+        if self.name is not None:
+            payload["name"] = self.name
+        else:
+            payload["shape"] = asdict(self.shape)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WorkloadSpec":
+        payload = dict(payload)
+        if "shape" in payload and payload["shape"] is not None:
+            payload["shape"] = WorkloadShape(**payload["shape"])
+        return cls(**payload)
+
+    @classmethod
+    def coerce(cls, value, **overrides) -> "WorkloadSpec":
+        """Build a spec from a spec, a catalog name, or a dict."""
+        if isinstance(value, cls):
+            if overrides:
+                payload = value.to_dict()
+                payload.update(
+                    {k: v for k, v in overrides.items() if v is not None})
+                return cls.from_dict(payload)
+            return value
+        if isinstance(value, WorkloadShape):
+            return cls(shape=value,
+                       **{k: v for k, v in overrides.items() if v is not None})
+        if isinstance(value, str):
+            return cls(name=value,
+                       **{k: v for k, v in overrides.items() if v is not None})
+        if isinstance(value, dict):
+            payload = dict(value)
+            payload.update({k: v for k, v in overrides.items() if v is not None})
+            return cls.from_dict(payload)
+        raise TypeError(f"cannot build a WorkloadSpec from {value!r}")
+
+
+@dataclass(frozen=True)
+class Condition:
+    """The preconditioned (P/E cycles, retention age) of a simulated run."""
+
+    pe_cycles: int = 0
+    retention_months: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.pe_cycles < 0:
+            raise ValueError("pe_cycles must be non-negative")
+        if self.retention_months < 0:
+            raise ValueError("retention_months must be non-negative")
+
+    def as_tuple(self) -> Tuple[int, float]:
+        return (self.pe_cycles, self.retention_months)
+
+    @property
+    def label(self) -> str:
+        if self.pe_cycles >= 1000 and self.pe_cycles % 1000 == 0:
+            pec = f"{self.pe_cycles // 1000}K"
+        else:
+            pec = str(self.pe_cycles)
+        return f"{pec} PEC / {self.retention_months:g} mo"
+
+    def to_dict(self) -> dict:
+        return {"pe_cycles": self.pe_cycles,
+                "retention_months": self.retention_months}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Condition":
+        return cls(**payload)
+
+    @classmethod
+    def coerce(cls, value) -> "Condition":
+        """Build a condition from a Condition, a (pec, months) pair, or a dict."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            return cls.from_dict(value)
+        if isinstance(value, (tuple, list)) and len(value) == 2:
+            return cls(pe_cycles=int(value[0]),
+                       retention_months=float(value[1]))
+        raise TypeError(f"cannot build a Condition from {value!r}")

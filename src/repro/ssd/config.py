@@ -121,3 +121,37 @@ class SsdConfig:
 
     def with_timing(self, timing: TimingParameters) -> "SsdConfig":
         return replace(self, timing=timing)
+
+    # -- manifest round-trip --------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able representation (inverse of :meth:`from_dict`).
+
+        Used by run manifests and to ship configs to sweep worker processes,
+        so the encoding must be lossless for every field.
+        """
+        return {
+            "channels": self.channels,
+            "dies_per_channel": self.dies_per_channel,
+            "planes_per_die": self.planes_per_die,
+            "blocks_per_plane": self.blocks_per_plane,
+            "pages_per_block": self.pages_per_block,
+            "page_size_kib": self.page_size_kib,
+            "timing": self.timing.to_dict(),
+            "overprovisioning": self.overprovisioning,
+            "write_buffer_pages": self.write_buffer_pages,
+            "gc_free_block_threshold": self.gc_free_block_threshold,
+            "read_priority": self.read_priority,
+            "suspension": self.suspension,
+            "temperature_c": self.temperature_c,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SsdConfig":
+        payload = dict(payload)
+        timing = payload.pop("timing", None)
+        if isinstance(timing, dict):
+            timing = TimingParameters.from_dict(timing)
+        if timing is not None:
+            payload["timing"] = timing
+        return cls(**payload)

@@ -21,18 +21,25 @@ class _ScheduledEvent:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    executed: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`EventQueue.schedule`, used to cancel events."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_queue")
 
-    def __init__(self, event: _ScheduledEvent):
+    def __init__(self, event: _ScheduledEvent, queue: "EventQueue" = None):
         self._event = event
+        self._queue = queue
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        # Cancelling an event that already ran (or was cancelled before)
+        # must stay a no-op, and must not touch the live-event counter.
+        if not self._event.cancelled and not self._event.executed:
+            self._event.cancelled = True
+            if self._queue is not None:
+                self._queue._live -= 1
 
     @property
     def cancelled(self) -> bool:
@@ -50,6 +57,9 @@ class EventQueue:
         self._heap = []
         self._counter = itertools.count()
         self._now_us = 0.0
+        # Live (non-cancelled, not-yet-run) event count, maintained on
+        # schedule/cancel/pop so __len__ is O(1) instead of a heap scan.
+        self._live = 0
 
     @property
     def now_us(self) -> float:
@@ -57,7 +67,7 @@ class EventQueue:
         return self._now_us
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def schedule(self, time_us: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` to run at ``time_us`` (must not be in the past)."""
@@ -67,7 +77,8 @@ class EventQueue:
         event = _ScheduledEvent(time_us=time_us, sequence=next(self._counter),
                                 callback=callback)
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, self)
 
     def schedule_after(self, delay_us: float,
                        callback: Callable[[], None]) -> EventHandle:
@@ -81,6 +92,8 @@ class EventQueue:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            self._live -= 1
+            event.executed = True
             self._now_us = event.time_us
             event.callback()
             return True

@@ -37,6 +37,29 @@ class TestSsdConfig:
         config = SsdConfig.tiny().with_timing(timing)
         assert config.timing.t_prog_us == 500.0
 
+
+class TestJsonRoundTrip:
+    def test_default_round_trips(self):
+        import json
+
+        config = SsdConfig.scaled()
+        payload = json.loads(json.dumps(config.to_dict()))
+        assert SsdConfig.from_dict(payload) == config
+
+    def test_custom_values_survive(self):
+        timing = TimingParameters(t_prog_us=500.0)
+        config = SsdConfig.tiny(seed=7, temperature_c=55.0,
+                                read_priority=False).with_timing(timing)
+        rebuilt = SsdConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.timing.t_prog_us == 500.0
+        assert rebuilt.timing.read == config.timing.read
+
+    def test_from_dict_without_timing_uses_default(self):
+        payload = SsdConfig.tiny().to_dict()
+        del payload["timing"]
+        assert SsdConfig.from_dict(payload).timing == TimingParameters()
+
     def test_validation(self):
         with pytest.raises(ValueError):
             SsdConfig(channels=0)

@@ -77,3 +77,25 @@ class TestEventQueue:
         queue.schedule(2.0, lambda: None)
         handle.cancel()
         assert len(queue) == 1
+
+    def test_len_is_live_counter(self):
+        queue = EventQueue()
+        handles = [queue.schedule(float(t), lambda: None) for t in range(4)]
+        assert len(queue) == 4
+        handles[0].cancel()
+        handles[0].cancel()  # double-cancel must not decrement twice
+        assert len(queue) == 3
+        queue.step()  # pops the cancelled event, then runs t=1
+        assert len(queue) == 2
+        queue.run()
+        assert len(queue) == 0
+
+    def test_cancel_after_run_is_noop(self):
+        queue = EventQueue()
+        handle = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        queue.step()
+        handle.cancel()  # the event already executed
+        assert len(queue) == 1
+        queue.run()
+        assert len(queue) == 0
