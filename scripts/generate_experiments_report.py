@@ -1,42 +1,51 @@
 #!/usr/bin/env python3
-"""Run every experiment and emit the measured headline numbers as JSON.
+"""Run every paper experiment and emit the measured headline numbers as JSON.
 
 Used to populate EXPERIMENTS.md; kept as a script so the report can be
 regenerated after model changes:
 
     python scripts/generate_experiments_report.py > experiments_headlines.json
+
+Experiments run at the ``full`` profile with the overrides below, fresh by
+default so the report always reflects the current code.  Pass ``--cache``
+to go through the artifact store instead — useful to resume an interrupted
+report run, but it will serve results computed by older code if the store
+is stale.
 """
 
+import argparse
 import json
 import sys
 import time
 
+from repro.experiments import EXPERIMENT_NAMES, ArtifactStore
 from repro.experiments.runner import run_experiment
 
-CONFIGS = {
-    "table1": {},
-    "table2": {},
-    "fig04b": {},
-    "fig05": {},
-    "fig07": {},
-    "fig08": {},
-    "fig09": {},
-    "fig10": {},
-    "fig11": {},
-    # System-level experiments: all twelve workloads over a reduced but
-    # representative condition grid.
+#: Per-experiment overrides on top of the ``full`` profile.  The
+#: system-level experiments use a reduced but representative condition grid.
+_OVERRIDES = {
     "fig14": {"conditions": ((0, 0.0), (1000, 6.0), (2000, 6.0), (2000, 12.0)),
               "num_requests": 400},
     "fig15": {"conditions": ((0, 0.0), (1000, 6.0), (2000, 6.0), (2000, 12.0)),
               "num_requests": 400},
 }
 
+CONFIGS = {name: _OVERRIDES.get(name, {}) for name in EXPERIMENT_NAMES}
+
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cache", action="store_true",
+                        help="reuse/populate the artifact store (resumes an "
+                             "interrupted run; may serve stale results after "
+                             "code changes)")
+    args = parser.parse_args()
+    store = ArtifactStore() if args.cache else None
+
     report = {}
     for name, overrides in CONFIGS.items():
         start = time.time()
-        result = run_experiment(name, fast=False, **overrides)
+        result = run_experiment(name, profile="full", store=store, **overrides)
         report[name] = {
             "title": result.title,
             "headline": result.headline,

@@ -24,8 +24,10 @@ the ASPLOS 2021 paper by Park et al.:
 * :mod:`repro.sim` — **the session API**: policy registry, fluent
   :class:`~repro.sim.Simulation` builder, and the parallel
   :class:`~repro.sim.SweepRunner`.
-* :mod:`repro.experiments` — one harness per table/figure of the paper,
-  built on :mod:`repro.sim`.
+* :mod:`repro.experiments` — the declarative experiment registry: one
+  registered harness per table/figure with ``full``/``fast``/``smoke``
+  parameter profiles, a content-addressed artifact store, and the
+  ``repro-experiment`` CLI (``list`` / ``run`` / ``export`` / ``show``).
 
 Quickstart
 ----------

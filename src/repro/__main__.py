@@ -1,9 +1,17 @@
-"""``python -m repro`` — smoke-test entry point.
+"""``python -m repro`` — registry-backed entry point.
 
-Runs a tiny (workload x condition x policy) sweep through the session API
-and prints the tidy result table, exercising the policy registry, the
-workload catalog, the SSD simulator and the sweep runner end to end in a
-few seconds.
+``python -m repro`` (or ``python -m repro smoke``) runs a tiny (workload x
+condition x policy) sweep through the session API and prints the tidy
+result table, exercising the policy registry, the workload catalog, the SSD
+simulator and the sweep runner end to end in a few seconds.
+
+Any other first argument is forwarded to the ``repro-experiment`` CLI, so
+the experiment registry is reachable without installing the console
+script::
+
+    python -m repro list --tag system
+    python -m repro run all --profile smoke --jobs 2
+    python -m repro show fig14 --profile fast
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ from repro.ssd.config import SsdConfig
 from repro.workloads.catalog import workload_names
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def smoke(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run a tiny read-retry policy sweep as a smoke test.")
@@ -58,6 +66,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"{len(sweep.cells)} cells in {elapsed:.1f} s; registered "
           f"policies: {', '.join(registry.names())}")
     return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0].startswith("-"):
+        return smoke(argv)
+    if argv[0] == "smoke":
+        return smoke(argv[1:])
+    # Everything else is the experiment-registry CLI (list/run/export/show).
+    from repro.experiments.runner import main as experiment_main
+
+    return experiment_main(argv)
 
 
 if __name__ == "__main__":

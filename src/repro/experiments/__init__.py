@@ -1,34 +1,84 @@
-"""Experiment harnesses: one module per table/figure of the paper.
+"""Experiment harnesses: one registered experiment per table/figure.
 
-Every module exposes a ``run(...)`` function returning an
-:class:`repro.experiments.reporting.ExperimentResult` whose rows mirror the
-data the corresponding paper artifact reports, plus sensible "fast" defaults
-so the whole suite can run in minutes.  The ``repro-experiment`` console
-script (see :mod:`repro.experiments.runner`) dispatches by experiment name.
+Every harness module registers its ``run(...)`` function in the declarative
+:class:`~repro.experiments.api.ExperimentRegistry` via
+:func:`~repro.experiments.api.register_experiment`, declaring the paper
+artifact it reproduces, suite tags, and a typed
+:class:`~repro.experiments.api.ParamSpec` with ``full``/``fast``/``smoke``
+parameter profiles.  Harnesses return an
+:class:`~repro.experiments.reporting.ExperimentResult`, which serializes to
+JSON/CSV and is cached by the content-addressed
+:class:`~repro.experiments.store.ArtifactStore`.
 
-==========  ==============================================================
-Experiment  Paper artifact
-==========  ==============================================================
-table1      Table 1 — NAND flash timing parameters
-table2      Table 2 — workload characteristics (read/cold ratio)
-fig04b      Figure 4(b) — RBER over the last retry steps
-fig05       Figure 5 — retry-step counts across (PEC, retention)
-fig07       Figure 7 — ECC-capability margin in the final retry step
-fig08       Figure 8 — effect of reducing each timing parameter
-fig09       Figure 9 — effect of reducing tPRE and tDISCH together
-fig10       Figure 10 — temperature effect on tPRE reduction
-fig11       Figure 11 — minimum safe tPRE per condition
-fig14       Figure 14 — SSD response time of PR2/AR2/PnAR2/NoRR
-fig15       Figure 15 — PSO and PSO+PnAR2 comparison
-==========  ==============================================================
+The ``repro-experiment`` console script (:mod:`repro.experiments.runner`)
+drives the registry with ``list`` / ``run`` / ``export`` / ``show``
+subcommands; ``python -m repro`` routes through the same registry.
+
+==================== ==========================================================
+Experiment           Artifact
+==================== ==========================================================
+table1               Table 1 — NAND flash timing parameters
+table2               Table 2 — workload characteristics (read/cold ratio)
+fig04b               Figure 4(b) — RBER over the last retry steps
+fig05                Figure 5 — retry-step counts across (PEC, retention)
+fig07                Figure 7 — ECC-capability margin in the final retry step
+fig08                Figure 8 — effect of reducing each timing parameter
+fig09                Figure 9 — effect of reducing tPRE and tDISCH together
+fig10                Figure 10 — temperature effect on tPRE reduction
+fig11                Figure 11 — minimum safe tPRE per condition
+fig14                Figure 14 — SSD response time of PR2/AR2/PnAR2/NoRR
+fig15                Figure 15 — PSO and PSO+PnAR2 comparison
+ablation_rpt         Ablation — adaptive RPT vs flat 40% tPRE reduction
+ablation_scheduling  Ablation — scheduler features of the baseline SSD
+ablation_extensions  Ablation — Section 8 extensions and Sentinel
+==================== ==========================================================
 """
 
-from repro.experiments.reporting import ExperimentResult
-
-__all__ = ["ExperimentResult", "EXPERIMENT_NAMES"]
-
-#: Names accepted by the runner, in presentation order.
-EXPERIMENT_NAMES = (
-    "table1", "table2", "fig04b", "fig05", "fig07", "fig08", "fig09",
-    "fig10", "fig11", "fig14", "fig15",
+from repro.experiments.api import (
+    DEFAULT_EXPERIMENT_REGISTRY,
+    DuplicateExperimentError,
+    ExperimentLookupError,
+    ExperimentRegistry,
+    Param,
+    ParamSpec,
+    ParameterValueError,
+    UnknownParameterError,
+    UnknownProfileError,
+    default_experiment_registry,
+    param,
+    register_experiment,
 )
+from repro.experiments.reporting import ExperimentResult, RunManifest
+from repro.experiments.store import ArtifactStore
+
+__all__ = [
+    "ArtifactStore",
+    "DEFAULT_EXPERIMENT_REGISTRY",
+    "DuplicateExperimentError",
+    "EXPERIMENT_NAMES",
+    "ExperimentLookupError",
+    "ExperimentRegistry",
+    "ExperimentResult",
+    "Param",
+    "ParamSpec",
+    "ParameterValueError",
+    "RunManifest",
+    "UnknownParameterError",
+    "UnknownProfileError",
+    "default_experiment_registry",
+    "param",
+    "register_experiment",
+]
+
+
+def __getattr__(name):
+    if name == "EXPERIMENT_NAMES":
+        # The paper-artifact suite in presentation order, derived from the
+        # registry (the seed hardcoded this tuple).
+        return default_experiment_registry().names(tag="paper")
+    raise AttributeError(
+        f"module 'repro.experiments' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | {"EXPERIMENT_NAMES"})

@@ -10,9 +10,17 @@ from __future__ import annotations
 
 from repro.characterization.margin import rber_per_retry_step
 from repro.errors.calibration import ECC_CALIBRATION
+from repro.experiments.api import param, register_experiment
 from repro.experiments.reporting import ExperimentResult
 
 
+@register_experiment(
+    "fig04b",
+    artifact="Figure 4(b) — RBER over the last retry steps",
+    tags=("paper", "figure", "characterization"),
+    params=(
+        param("last_steps", 4, "how many final retry steps to report"),
+    ))
 def run(last_steps: int = 4) -> ExperimentResult:
     rows = rber_per_retry_step(last_steps=last_steps)
     headline = {

@@ -13,9 +13,26 @@ from typing import Sequence
 
 from repro.characterization.platform import VirtualTestPlatform
 from repro.characterization.retry_profile import profile_retry_steps, summarize_profiles
+from repro.experiments.api import param, register_experiment
 from repro.experiments.reporting import ExperimentResult
 
 
+@register_experiment(
+    "fig05",
+    artifact="Figure 5 — retry-step counts across (PEC, retention)",
+    tags=("paper", "figure", "characterization"),
+    params=(
+        param("num_chips", 12, "chips in the virtual test platform",
+              fast=4, smoke=2),
+        param("blocks_per_chip", 4, "sampled blocks per chip",
+              fast=2, smoke=2),
+        param("wordlines_per_block", 2, "sampled wordlines per block",
+              fast=1, smoke=1),
+        param("pe_cycles", (0, 1000, 2000), "P/E-cycle axis"),
+        param("retention_months", (0.0, 3.0, 6.0, 9.0, 12.0),
+              "retention-age axis"),
+        param("seed", 0, "platform seed"),
+    ))
 def run(num_chips: int = 12, blocks_per_chip: int = 4,
         wordlines_per_block: int = 2,
         pe_cycles: Sequence[int] = (0, 1000, 2000),

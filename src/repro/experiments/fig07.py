@@ -15,9 +15,27 @@ from typing import Sequence
 from repro.characterization.margin import ecc_margin_sweep
 from repro.characterization.platform import VirtualTestPlatform
 from repro.errors.calibration import ECC_CALIBRATION
+from repro.experiments.api import param, register_experiment
 from repro.experiments.reporting import ExperimentResult
 
 
+@register_experiment(
+    "fig07",
+    artifact="Figure 7 — ECC-capability margin in the final retry step",
+    tags=("paper", "figure", "characterization"),
+    params=(
+        param("num_chips", 10, "chips in the virtual test platform",
+              fast=4, smoke=2),
+        param("blocks_per_chip", 4, "sampled blocks per chip",
+              fast=2, smoke=2),
+        param("wordlines_per_block", 2, "sampled wordlines per block",
+              fast=1, smoke=1),
+        param("temperatures_c", (85.0, 55.0, 30.0), "temperature axis"),
+        param("pe_cycles", (0, 1000, 2000), "P/E-cycle axis"),
+        param("retention_months", (0.0, 3.0, 6.0, 9.0, 12.0),
+              "retention-age axis"),
+        param("seed", 0, "platform seed"),
+    ))
 def run(num_chips: int = 10, blocks_per_chip: int = 4,
         wordlines_per_block: int = 2,
         temperatures_c: Sequence[float] = (85.0, 55.0, 30.0),

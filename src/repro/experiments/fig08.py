@@ -3,9 +3,21 @@
 from __future__ import annotations
 
 from repro.characterization.timing_sweep import individual_parameter_sweep
+from repro.experiments.api import param, register_experiment
 from repro.experiments.reporting import ExperimentResult
 
 
+@register_experiment(
+    "fig08",
+    artifact="Figure 8 — effect of reducing each timing parameter",
+    tags=("paper", "figure", "characterization"),
+    params=(
+        param("num_chips", 8, "chips in the virtual test platform",
+              fast=3, smoke=2),
+        param("blocks_per_chip", 3, "sampled blocks per chip",
+              fast=2, smoke=2),
+        param("seed", 0, "platform seed"),
+    ))
 def run(num_chips: int = 8, blocks_per_chip: int = 3,
         seed: int = 0) -> ExperimentResult:
     from repro.characterization.platform import VirtualTestPlatform
@@ -20,15 +32,24 @@ def run(num_chips: int = 8, blocks_per_chip: int = 3,
             row = {"parameter": parameter}
             row.update(entry)
             rows.append(row)
+    result = ExperimentResult(
+        name="fig08",
+        title="Figure 8: effect of reducing individual read-timing parameters",
+        rows=rows,
+        notes=["the paper reports ~30 additional errors for a 20% tEVAL "
+               "reduction even on fresh pages, a ~60% retention-induced "
+               "increase of the tPRE penalty at 2K P/E cycles, and safe "
+               "reductions of 47%/10%/27% for tPRE/tEVAL/tDISCH at the worst "
+               "condition"],
+    )
 
     def delta(parameter, pec, months, reduction):
-        for entry in sweeps[parameter]:
-            if (entry["pe_cycles"] == pec and entry["retention_months"] == months
-                    and abs(entry["reduction"] - reduction) < 1e-9):
-                return entry["delta_m_err"]
-        return None
+        row = result.first_row(parameter=parameter, pe_cycles=pec,
+                               retention_months=months,
+                               approx={"reduction": reduction})
+        return row["delta_m_err"] if row else None
 
-    headline = {
+    result.headline = {
         "Delta M_ERR for 47% tPRE reduction at (2K, 12 mo)":
             delta("pre", 2000, 12.0, 0.47),
         "Delta M_ERR for 47% tPRE reduction at (2K, 0 mo)":
@@ -38,17 +59,7 @@ def run(num_chips: int = 8, blocks_per_chip: int = 3,
         "Delta M_ERR for 20% tDISCH reduction at (1K, 0 mo)":
             delta("disch", 1000, 0.0, 0.20),
     }
-    return ExperimentResult(
-        name="fig08",
-        title="Figure 8: effect of reducing individual read-timing parameters",
-        rows=rows,
-        headline=headline,
-        notes=["the paper reports ~30 additional errors for a 20% tEVAL "
-               "reduction even on fresh pages, a ~60% retention-induced "
-               "increase of the tPRE penalty at 2K P/E cycles, and safe "
-               "reductions of 47%/10%/27% for tPRE/tEVAL/tDISCH at the worst "
-               "condition"],
-    )
+    return result
 
 
 def main() -> None:  # pragma: no cover

@@ -5,27 +5,44 @@ from __future__ import annotations
 from repro.characterization.platform import VirtualTestPlatform
 from repro.characterization.timing_sweep import combined_parameter_sweep
 from repro.errors.calibration import ECC_CALIBRATION
+from repro.experiments.api import param, register_experiment
 from repro.experiments.reporting import ExperimentResult
 
 
+@register_experiment(
+    "fig09",
+    artifact="Figure 9 — effect of reducing tPRE and tDISCH together",
+    tags=("paper", "figure", "characterization"),
+    params=(
+        param("num_chips", 8, "chips in the virtual test platform",
+              fast=3, smoke=2),
+        param("blocks_per_chip", 3, "sampled blocks per chip",
+              fast=2, smoke=2),
+        param("seed", 0, "platform seed"),
+    ))
 def run(num_chips: int = 8, blocks_per_chip: int = 3,
         seed: int = 0) -> ExperimentResult:
     platform = VirtualTestPlatform(num_chips=num_chips,
                                    blocks_per_chip=blocks_per_chip,
                                    wordlines_per_block=1, seed=seed)
-    rows = combined_parameter_sweep(platform)
+    result = ExperimentResult(
+        name="fig09",
+        title="Figure 9: effect of reducing tPRE and tDISCH simultaneously",
+        rows=combined_parameter_sweep(platform),
+        notes=["the paper concludes the ECC margin is best spent on tPRE "
+               "alone: a 7% tDISCH reduction buys only ~1.75% of tR but can "
+               "cost up to 4 errors"],
+    )
 
     def m_err(pec, months, pre, disch):
-        for row in rows:
-            if (row["pe_cycles"] == pec and row["retention_months"] == months
-                    and abs(row["pre_reduction"] - pre) < 1e-9
-                    and abs(row["disch_reduction"] - disch) < 1e-9):
-                return row["m_err"]
-        return None
+        row = result.first_row(pe_cycles=pec, retention_months=months,
+                               approx={"pre_reduction": pre,
+                                       "disch_reduction": disch})
+        return row["m_err"] if row else None
 
     capability = ECC_CALIBRATION.capability_bits
     combined = m_err(1000, 0.0, 0.54, 0.20)
-    headline = {
+    result.headline = {
         "ECC capability [errors/KiB]": capability,
         "M_ERR at (1K, 0) with 54% tPRE alone": m_err(1000, 0.0, 0.54, 0.0),
         "M_ERR at (1K, 0) with 20% tDISCH alone": m_err(1000, 0.0, 0.0, 0.20),
@@ -33,15 +50,7 @@ def run(num_chips: int = 8, blocks_per_chip: int = 3,
         "combined reduction exceeds ECC capability":
             bool(combined is not None and combined > capability),
     }
-    return ExperimentResult(
-        name="fig09",
-        title="Figure 9: effect of reducing tPRE and tDISCH simultaneously",
-        rows=rows,
-        headline=headline,
-        notes=["the paper concludes the ECC margin is best spent on tPRE "
-               "alone: a 7% tDISCH reduction buys only ~1.75% of tR but can "
-               "cost up to 4 errors"],
-    )
+    return result
 
 
 def main() -> None:  # pragma: no cover

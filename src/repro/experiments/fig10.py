@@ -4,9 +4,21 @@ from __future__ import annotations
 
 from repro.characterization.platform import VirtualTestPlatform
 from repro.characterization.timing_sweep import temperature_sweep
+from repro.experiments.api import param, register_experiment
 from repro.experiments.reporting import ExperimentResult
 
 
+@register_experiment(
+    "fig10",
+    artifact="Figure 10 — temperature effect on tPRE reduction",
+    tags=("paper", "figure", "characterization"),
+    params=(
+        param("num_chips", 8, "chips in the virtual test platform",
+              fast=3, smoke=2),
+        param("blocks_per_chip", 3, "sampled blocks per chip",
+              fast=2, smoke=2),
+        param("seed", 0, "platform seed"),
+    ))
 def run(num_chips: int = 8, blocks_per_chip: int = 3,
         seed: int = 0) -> ExperimentResult:
     platform = VirtualTestPlatform(num_chips=num_chips,

@@ -8,9 +8,18 @@ from __future__ import annotations
 
 from repro.characterization.rpt_builder import build_rpt, minimum_safe_tpre_sweep
 from repro.errors.calibration import ECC_CALIBRATION
+from repro.experiments.api import param, register_experiment
 from repro.experiments.reporting import ExperimentResult
 
 
+@register_experiment(
+    "fig11",
+    artifact="Figure 11 — minimum safe tPRE per condition",
+    tags=("paper", "figure", "characterization"),
+    params=(
+        param("seed", 0, "unused; kept for interface uniformity",
+              cache_relevant=False),
+    ))
 def run(seed: int = 0) -> ExperimentResult:
     rows = minimum_safe_tpre_sweep()
     reductions = [row["max_pre_reduction_pct"] for row in rows]

@@ -17,12 +17,30 @@ from repro.experiments.common import (
     DEFAULT_CONDITION_GRID,
     default_experiment_config,
 )
+from repro.experiments.api import param, register_experiment
 from repro.experiments.reporting import ExperimentResult
 from repro.sim.registry import default_registry
 from repro.sim.sweep import SweepRunner
 from repro.workloads.catalog import workload_names
 
 
+@register_experiment(
+    "fig14",
+    artifact="Figure 14 — SSD response time of PR2/AR2/PnAR2/NoRR",
+    tags=("paper", "figure", "system"),
+    params=(
+        param("workloads", None, "Table 2 workload names (None = all 12)",
+              fast=("usr_1", "YCSB-C", "stg_0"), smoke=("usr_1",)),
+        param("conditions", None,
+              "(PEC, months) grid (None = the 9-cell default)",
+              fast=((0, 0.0), (1000, 6.0), (2000, 12.0)),
+              smoke=((1000, 6.0),)),
+        param("num_requests", 600, "host requests per cell",
+              fast=300, smoke=100),
+        param("seed", 0, "stream seed"),
+        param("processes", 1, "sweep worker processes for the inner grid",
+              cache_relevant=False),
+    ))
 def run(workloads: Sequence[str] = None,
         conditions: Sequence[Tuple[int, float]] = None,
         num_requests: int = 600,

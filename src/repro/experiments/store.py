@@ -1,0 +1,161 @@
+"""Content-addressed artifact store for experiment results.
+
+Results are keyed by the SHA-256 of ``(experiment name, fully resolved
+parameters, schema version)`` — the complete input surface of a run, given
+that every harness is a deterministic function of its parameters.  Re-running
+an experiment with the same resolved parameters is therefore a cache hit,
+which makes ``repro-experiment run all`` resumable (a crashed suite re-serves
+the finished experiments instantly) and repeat invocations near-instant.
+
+Artifacts live under ``~/.cache/repro`` by default; override with the
+``REPRO_CACHE_DIR`` environment variable or the ``root`` argument.  Each
+artifact is one pretty-printed JSON document (the
+:meth:`~repro.experiments.reporting.ExperimentResult.to_json` form), so the
+cache doubles as a browsable result archive::
+
+    ~/.cache/repro/artifacts/fig14/ab12cd34....json
+
+Loads go through :meth:`ExperimentResult.from_dict`, whose canonical
+serialization guarantees a cached result exports byte-identically to the
+fresh run that produced it.
+
+The address deliberately contains **no code fingerprint** — harnesses are
+assumed deterministic functions of their parameters under the current code.
+After changing the simulator or an experiment, run with ``--no-cache`` or
+clear the store; each artifact's manifest records the ``repro_version``
+that produced it for post-hoc auditing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from repro.experiments.reporting import (
+    SCHEMA_VERSION,
+    ExperimentResult,
+    jsonify,
+)
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+def cache_key(experiment: str, params: Mapping[str, object],
+              schema_version: int = SCHEMA_VERSION) -> str:
+    """Content address of a run: experiment + resolved params + schema."""
+    payload = json.dumps(
+        {"experiment": experiment, "params": jsonify(dict(params)),
+         "schema_version": schema_version},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+class ArtifactStore:
+    """Filesystem-backed, content-addressed cache of experiment results."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = (Path(root).expanduser() if root is not None
+                     else default_cache_root()) / "artifacts"
+        self.hits = 0
+        self.misses = 0
+
+    # -- addressing -----------------------------------------------------------
+    def key(self, experiment: str, params: Mapping[str, object]) -> str:
+        return cache_key(experiment, params)
+
+    def path(self, experiment: str, params: Mapping[str, object]) -> Path:
+        return self.root / experiment / f"{self.key(experiment, params)}.json"
+
+    # -- access ---------------------------------------------------------------
+    def load(self, experiment: str,
+             params: Mapping[str, object]) -> Optional[ExperimentResult]:
+        """The cached result for (experiment, params), or None on a miss.
+
+        An unreadable or schema-incompatible artifact counts as a miss (and
+        is left in place for inspection), never an error — the caller just
+        recomputes.
+        """
+        path = self.path(experiment, params)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            result = ExperimentResult.from_json(text)
+        except (ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def save(self, result: ExperimentResult) -> Path:
+        """Persist ``result`` atomically.
+
+        The manifest must carry a ``cache_key`` (the runner computes it over
+        the cache-relevant parameters; ad-hoc callers can use :meth:`key`).
+        Deriving a fallback address here from the full parameter dict would
+        store artifacts where no load — which keys on the cache-relevant
+        subset — ever looks.
+        """
+        if result.manifest is None or not result.manifest.cache_key:
+            raise ValueError(
+                "result has no manifest.cache_key; only results addressed "
+                "by their cache-relevant parameters (see ArtifactStore.key) "
+                "are cacheable")
+        manifest = result.manifest
+        path = self.root / manifest.experiment / f"{manifest.cache_key}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so concurrent runs never observe a torn file.
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=path.parent, suffix=".tmp", delete=False)
+        try:
+            with handle:
+                handle.write(result.to_json())
+            os.replace(handle.name, path)
+        except BaseException:
+            os.unlink(handle.name)
+            raise
+        return path
+
+    # -- maintenance ----------------------------------------------------------
+    def entries(self, experiment: Optional[str] = None) -> List[Path]:
+        """Paths of every stored artifact, optionally for one experiment."""
+        if not self.root.is_dir():
+            return []
+        directories = ([self.root / experiment] if experiment is not None
+                       else sorted(child for child in self.root.iterdir()
+                                   if child.is_dir()))
+        paths: List[Path] = []
+        for directory in directories:
+            if directory.is_dir():
+                paths.extend(sorted(directory.glob("*.json")))
+        return paths
+
+    def clear(self, experiment: Optional[str] = None) -> int:
+        """Delete stored artifacts; returns the number removed."""
+        removed = 0
+        for path in self.entries(experiment):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stored": len(self.entries())}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArtifactStore({str(self.root)!r})"

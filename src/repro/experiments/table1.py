@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
+from repro.experiments.api import register_experiment
 from repro.experiments.reporting import ExperimentResult
 from repro.nand.timing import TimingParameters
 
 
+@register_experiment(
+    "table1",
+    artifact="Table 1 — NAND flash timing parameters",
+    tags=("paper", "table", "static"))
 def run(timing: TimingParameters = None) -> ExperimentResult:
     """Render Table 1 (all values in microseconds, tBERS in ms in the paper)."""
     timing = timing or TimingParameters()

@@ -7,11 +7,23 @@ that the generators reproduce the characteristics the paper lists.
 
 from __future__ import annotations
 
+from repro.experiments.api import param, register_experiment
 from repro.experiments.reporting import ExperimentResult
 from repro.workloads.catalog import WORKLOAD_CATALOG
 from repro.workloads.synthetic import SyntheticWorkload
 
 
+@register_experiment(
+    "table2",
+    artifact="Table 2 — I/O characteristics of the evaluated workloads",
+    tags=("paper", "table", "workloads"),
+    params=(
+        param("num_requests", 2000, "synthetic requests per workload",
+              fast=800, smoke=300),
+        param("footprint_pages", 20000, "logical pages each stream touches",
+              fast=8000, smoke=4000),
+        param("seed", 0, "workload-generator seed"),
+    ))
 def run(num_requests: int = 2000, footprint_pages: int = 20000,
         seed: int = 0) -> ExperimentResult:
     rows = []

@@ -43,6 +43,7 @@ __all__ = [
     "SweepRunner",
     "WorkloadSpec",
     "default_registry",
+    "pool_map",
     "register_policy",
 ]
 
@@ -53,6 +54,7 @@ _LAZY = {
     "RunResult": "repro.sim.session",
     "SweepRunner": "repro.sim.sweep",
     "SweepResult": "repro.sim.sweep",
+    "pool_map": "repro.sim.sweep",
 }
 
 

@@ -62,6 +62,45 @@ def _default_rpt() -> ReadTimingParameterTable:
     return _DEFAULT_RPT[0]
 
 
+def pool_map(func, payloads: Sequence, processes: int,
+             on_result=None) -> List:
+    """``[func(p) for p in payloads]``, optionally over a process pool.
+
+    The shared fan-out primitive of the sweep runner and the experiment
+    suite runner.  Prefers the ``fork`` start method so objects registered
+    at runtime (policies, experiments) remain resolvable inside workers; on
+    spawn-only platforms workers re-import the registering modules, so only
+    import-time registrations resolve.  Falls back to a serial map when a
+    pool would not help (one payload) or is impossible (already inside a
+    daemonic pool worker, which may not spawn children).
+
+    :param on_result: optional callback invoked in the parent, in payload
+        order, as each result arrives — results completed before a later
+        payload fails have already been delivered, which is what lets the
+        suite runner persist partial progress.
+    """
+    count = min(processes, len(payloads))
+    if count <= 1 or multiprocessing.current_process().daemon:
+        results = []
+        for payload in payloads:
+            result = func(payload)
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+    with context.Pool(count) as pool:
+        if on_result is None:
+            return pool.map(func, payloads)
+        results = []
+        for result in pool.imap(func, payloads):
+            on_result(result)
+            results.append(result)
+        return results
+
+
 def _cached_stream(spec: WorkloadSpec, config: SsdConfig) -> List[tuple]:
     key = spec.stream_key(config)
     raw = _STREAM_CACHE.get(key)
@@ -300,18 +339,7 @@ class SweepRunner:
             baseline = policy_names[0]
         payloads = self._payloads(specs, condition_objs, policy_names)
 
-        if self.processes == 1 or len(payloads) == 1:
-            outcomes = [_run_cell(payload) for payload in payloads]
-        else:
-            # Prefer fork so policies registered at runtime (the registry's
-            # extension point) are visible inside the workers.  Under spawn
-            # (Windows, macOS default) workers re-import repro, so only
-            # policies registered at import time of their module resolve.
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in methods else None)
-            with context.Pool(min(self.processes, len(payloads))) as pool:
-                outcomes = pool.map(_run_cell, payloads)
+        outcomes = pool_map(_run_cell, payloads, self.processes)
 
         cells = {(label, pec, months): results
                  for label, (pec, months), results in outcomes}

@@ -13,6 +13,12 @@ from repro.nand.timing import TimingParameters
 from repro.ssd.config import SsdConfig
 
 
+@pytest.fixture(autouse=True)
+def _isolated_artifact_store(tmp_path, monkeypatch):
+    """Point the experiment artifact store away from the user's real cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture(scope="session")
 def error_model() -> CodewordErrorModel:
     return CodewordErrorModel()

@@ -83,20 +83,25 @@ class TestComparePolicies:
 class TestRunnerCli:
     def test_cli_runs_single_experiment(self, capsys, tmp_path):
         out_file = tmp_path / "table1.txt"
-        exit_code = runner_main(["table1", "--out", str(out_file)])
+        exit_code = runner_main(["run", "table1", "--out", str(out_file)])
         assert exit_code == 0
         captured = capsys.readouterr()
         assert "Table 1" in captured.out
         assert out_file.read_text().startswith("Table 1")
 
-    def test_cli_fast_flag_and_max_rows(self, capsys):
-        exit_code = runner_main(["fig11", "--fast", "--max-rows", "3"])
+    def test_cli_profile_and_max_rows(self, capsys):
+        exit_code = runner_main(["run", "fig11", "--profile", "fast",
+                                 "--max-rows", "3"])
         assert exit_code == 0
         assert "Figure 11" in capsys.readouterr().out
 
     def test_cli_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             runner_main(["figure-zero"])
+
+    def test_cli_rejects_unknown_subtarget(self):
+        with pytest.raises(SystemExit):
+            runner_main(["run", "figure-zero"])
 
 
 class TestHeadlineReportScript:
