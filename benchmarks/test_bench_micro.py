@@ -10,10 +10,12 @@ import pytest
 
 from repro.ecc.bch import BchCode
 from repro.errors import CodewordErrorModel, OperatingCondition
+from repro.errors.batch import BatchErrorModel
 from repro.nand.geometry import PageType
 from repro.ssd.config import SsdConfig
 from repro.ssd.controller import SsdSimulator
 from repro.ssd.engine import EventQueue
+from repro.ssd.retry_grid import RetryStepGrid
 from repro.workloads import generate_workload
 
 
@@ -45,6 +47,31 @@ def test_bench_bch_decode_8_errors(benchmark):
 
     result = benchmark(code.decode, corrupted)
     assert result.success
+
+
+def test_bench_batch_walk_lattice(benchmark, model, bench_rpt):
+    """One vectorized behaviour pass over a tiny SSD's full corner lattice."""
+    grid = RetryStepGrid(SsdConfig.tiny(), rpt=bench_rpt)
+    batch = BatchErrorModel(model)
+    variation = grid.variation_arrays()
+    condition = OperatingCondition(1000, 6.0, 30.0)
+
+    lattice = benchmark(batch.read_behaviour_lattice, condition, variation,
+                        0.4)
+    assert len(lattice) == len(PageType)
+
+
+def test_bench_grid_cold_build(benchmark, bench_rpt):
+    """Grid construction plus the first (cold) slab build."""
+    config = SsdConfig.tiny()
+
+    def build():
+        grid = RetryStepGrid(config, rpt=bench_rpt)
+        grid.prefill([(1000, 6.0)])
+        return grid
+
+    grid = benchmark(build)
+    assert grid.cached_conditions == 1
 
 
 def test_bench_event_queue_throughput(benchmark):

@@ -1,0 +1,267 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and maintain the ``BENCH_<rev>.json`` trajectory.
+
+Wraps ``pytest-benchmark`` so that performance tracking is one command:
+
+* runs the selected benchmark suite (``micro`` by default — the hot-path
+  micro-benchmarks; ``figures`` or ``all`` for the paper-artifact
+  regeneration benchmarks),
+* emits a machine-readable ``BENCH_<rev>.json`` snapshot keyed by the git
+  revision (the repo's performance trajectory),
+* compares the hot-path means against a committed baseline
+  (``benchmarks/baseline.json``) and exits non-zero when any benchmark
+  regressed by more than ``--max-regression`` (CI's perf gate),
+* regenerates the baseline with ``--update-baseline`` (run on the reference
+  machine after an intentional perf change; absolute times are
+  machine-dependent, so regenerate it when the reference hardware changes).
+
+Examples::
+
+    python scripts/run_benchmarks.py
+    python scripts/run_benchmarks.py --suite all --no-compare
+    python scripts/run_benchmarks.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+DEFAULT_BASELINE = BENCH_DIR / "baseline.json"
+
+SUITES = {
+    "micro": ["benchmarks/test_bench_micro.py"],
+    "figures": [
+        "benchmarks/test_bench_characterization_figures.py",
+        "benchmarks/test_bench_fig14.py",
+        "benchmarks/test_bench_fig15.py",
+        "benchmarks/test_bench_tables.py",
+    ],
+    "all": ["benchmarks"],
+}
+
+
+def git_revision() -> str:
+    command = ["git", "rev-parse", "--short=10", "HEAD"]
+    try:
+        output = subprocess.run(command, cwd=REPO_ROOT, capture_output=True, text=True, check=True)
+        return output.stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return "unknown"
+
+
+def run_pytest_benchmarks(suite: str, pytest_args: list) -> dict:
+    """Run the suite under pytest-benchmark and return its JSON report."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        report_path = handle.name
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = f"{src}:{env['PYTHONPATH']}" if env.get("PYTHONPATH") else src
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *SUITES[suite],
+        "--benchmark-only",
+        f"--benchmark-json={report_path}",
+        "-q",
+        *pytest_args,
+    ]
+    try:
+        completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+        if completed.returncode != 0:
+            raise SystemExit(f"benchmark run failed (pytest exit {completed.returncode})")
+        with open(report_path) as report:
+            return json.load(report)
+    finally:
+        os.unlink(report_path)
+
+
+def summarize(report: dict, suite: str) -> dict:
+    """Reduce the pytest-benchmark report to the trajectory schema."""
+    benchmarks = {}
+    for entry in report.get("benchmarks", []):
+        stats = entry["stats"]
+        benchmarks[entry["name"]] = {
+            "mean_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "median_s": stats["median"],
+            "min_s": stats["min"],
+            "rounds": stats["rounds"],
+            "iterations": stats.get("iterations", 1),
+        }
+    generated_at = datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds")
+    return {
+        "schema_version": 1,
+        "revision": git_revision(),
+        "generated_at": generated_at,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "suite": suite,
+        "benchmarks": benchmarks,
+    }
+
+
+def compare_to_baseline(
+    snapshot: dict,
+    baseline: dict,
+    max_regression: float,
+    min_gate_mean_s: float = 0.0,
+) -> list:
+    """Mean-time regressions beyond the threshold, worst first.
+
+    Benchmarks whose baseline mean is below ``min_gate_mean_s`` are
+    reported but never gated: microsecond-scale means are dominated by
+    scheduler jitter on shared CI runners, where a 30% swing carries no
+    signal.
+    """
+    regressions = []
+    for name, reference in baseline.get("benchmarks", {}).items():
+        current = snapshot["benchmarks"].get(name)
+        if current is None:
+            continue
+        if reference["mean_s"] < min_gate_mean_s:
+            continue
+        ratio = current["mean_s"] / reference["mean_s"]
+        if ratio > 1.0 + max_regression:
+            regressions.append(
+                {
+                    "name": name,
+                    "baseline_mean_s": reference["mean_s"],
+                    "current_mean_s": current["mean_s"],
+                    "slowdown": ratio,
+                }
+            )
+    regressions.sort(key=lambda entry: entry["slowdown"], reverse=True)
+    return regressions
+
+
+def print_report(snapshot: dict, baseline: dict | None) -> None:
+    reference = (baseline or {}).get("benchmarks", {})
+    width = max((len(name) for name in snapshot["benchmarks"]), default=10)
+    print(f"\n{'benchmark'.ljust(width)}  {'mean':>12}  {'vs baseline':>12}")
+    for name, stats in sorted(snapshot["benchmarks"].items()):
+        mean_us = stats["mean_s"] * 1e6
+        if name in reference:
+            ratio = stats["mean_s"] / reference[name]["mean_s"]
+            delta = f"{(ratio - 1.0) * 100.0:+7.1f}%"
+        else:
+            delta = "new"
+        print(f"{name.ljust(width)}  {mean_us:10.1f}us  {delta:>12}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--suite",
+        choices=sorted(SUITES),
+        default="micro",
+        help="benchmark selection (default: micro)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="snapshot path (default: benchmarks/BENCH_<rev>.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="baseline to gate against (default: benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="fail when a hot-path mean regresses by more than this fraction (default: 0.30)",
+    )
+    parser.add_argument(
+        "--min-gate-mean-us",
+        type=float,
+        default=100.0,
+        help="only gate benchmarks whose baseline mean exceeds this many "
+        "microseconds; faster ones are jitter-bound on shared runners "
+        "(default: 100)",
+    )
+    parser.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="record the snapshot without gating",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the snapshot as the new baseline",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="extra arguments forwarded to pytest",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    report = run_pytest_benchmarks(args.suite, args.pytest_args)
+    snapshot = summarize(report, args.suite)
+
+    output = args.output
+    if output is None:
+        output = BENCH_DIR / f"BENCH_{snapshot['revision']}.json"
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+
+    if args.update_baseline:
+        args.baseline.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.baseline}")
+        return 0
+
+    baseline = None
+    if args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+    print_report(snapshot, baseline)
+
+    if args.no_compare:
+        return 0
+    if baseline is None:
+        print(f"no baseline at {args.baseline}; skipping the perf gate")
+        print("generate one with --update-baseline")
+        return 0
+
+    regressions = compare_to_baseline(
+        snapshot,
+        baseline,
+        args.max_regression,
+        min_gate_mean_s=args.min_gate_mean_us * 1e-6,
+    )
+    if regressions:
+        threshold = f"{args.max_regression:.0%}"
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond {threshold}:")
+        for entry in regressions:
+            baseline_us = entry["baseline_mean_s"] * 1e6
+            current_us = entry["current_mean_s"] * 1e6
+            times = f"{baseline_us:.1f}us -> {current_us:.1f}us"
+            print(f"  {entry['name']}: {times} ({entry['slowdown']:.2f}x)")
+        return 1
+    print(f"\nOK: no benchmark regressed beyond {args.max_regression:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

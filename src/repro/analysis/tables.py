@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import List, Sequence
+from typing import Sequence
 
 
 def format_table(rows: Sequence[dict], columns: Sequence[str] = None) -> str:

@@ -24,7 +24,6 @@ against PnAR2 in the ablation experiments:
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.latency import ReadLatencyBreakdown
 from repro.core.policies import PnAR2Policy, ReadRetryPolicy

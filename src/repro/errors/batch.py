@@ -1,0 +1,482 @@
+"""Vectorized evaluation of the codeword error model.
+
+The simulator's read hot path asks one question over and over: *how many
+read-retry steps does a read need under a given operating condition, page
+type and process-variation corner?*  The scalar answer
+(:meth:`repro.errors.rber.CodewordErrorModel.walk_retry_table`) re-derives
+the threshold-voltage distributions for every retry step of every query,
+which makes it the throughput ceiling of every figure, sweep and suite run.
+
+This module evaluates the same model over *arrays* of variation corners and
+retry steps in one numpy pass, with results that are **bit-for-bit
+identical** to the scalar code.  Exactness is achieved by construction:
+
+* per-condition scalars (retention shift, sigma widening, temperature
+  extras, timing-error phase sums) are computed by the *scalar* model
+  helpers themselves — ``numpy``'s transcendental ufuncs (``np.log1p``,
+  ``np.power``) are not guaranteed to round identically to the ``math``
+  module, so they are never used for condition math;
+* everything vectorized uses only IEEE-754 basic operations (add, subtract,
+  multiply, divide, min), which numpy evaluates exactly like Python floats,
+  applied in the same order as the scalar code;
+* the complementary error function is evaluated elementwise through
+  ``math.erfc`` (via :func:`numpy.frompyfunc`), the exact function the
+  scalar path calls.
+
+The payoff is structural, not transcendental: the scalar walk rebuilds the
+boundary distributions for each of up to 41 steps, while the batch kernel
+builds them once per (condition, corner) and reuses the per-boundary tail
+matrix across all three page types.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors.condition import OperatingCondition
+from repro.errors.rber import CodewordErrorModel
+from repro.errors.timing import TimingReduction
+from repro.errors.variation import VariationSample
+from repro.nand.geometry import PageType
+from repro.nand.voltage import (
+    BOUNDARY_SHIFT_WEIGHTS,
+    NUM_BOUNDARIES,
+    ReadRetryTable,
+    default_read_references_mv,
+    fresh_state_means_mv,
+)
+
+_SQRT2 = math.sqrt(2.0)
+
+#: Elementwise ``math.erfc``.  ``scipy.special.erfc`` and any polynomial
+#: approximation differ from ``math.erfc`` in the last ulp on this platform,
+#: which would break the bit-for-bit guarantee; ``frompyfunc`` keeps the C
+#: loop overhead low while calling the identical libm routine per element.
+_ERFC_UFUNC = np.frompyfunc(math.erfc, 1, 1)
+
+
+def _erfc(values: np.ndarray) -> np.ndarray:
+    return _ERFC_UFUNC(values).astype(np.float64)
+
+
+@dataclass(frozen=True)
+class VariationArrays:
+    """Structure-of-arrays counterpart of :class:`VariationSample`.
+
+    One entry per variation corner; all three arrays share the same length.
+    """
+
+    shift: np.ndarray
+    sigma: np.ndarray
+    timing: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.shift) == len(self.sigma) == len(self.timing)):
+            raise ValueError("variation arrays must have equal lengths")
+
+    def __len__(self) -> int:
+        return len(self.shift)
+
+    @classmethod
+    def nominal(cls, count: int) -> "VariationArrays":
+        ones = np.ones(count)
+        return cls(shift=ones, sigma=ones.copy(), timing=ones.copy())
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[VariationSample]) -> "VariationArrays":
+        samples = list(samples)
+        return cls(
+            shift=np.array([s.shift_multiplier for s in samples]),
+            sigma=np.array([s.sigma_multiplier for s in samples]),
+            timing=np.array([s.timing_multiplier for s in samples]),
+        )
+
+    def sample_at(self, index: int) -> VariationSample:
+        return VariationSample(
+            shift_multiplier=float(self.shift[index]),
+            sigma_multiplier=float(self.sigma[index]),
+            timing_multiplier=float(self.timing[index]),
+        )
+
+    def take(self, indices: np.ndarray) -> "VariationArrays":
+        return VariationArrays(
+            shift=self.shift[indices],
+            sigma=self.sigma[indices],
+            timing=self.timing[indices],
+        )
+
+
+@dataclass(frozen=True)
+class BatchRetryOutcome:
+    """Vectorized counterpart of :class:`repro.errors.rber.RetryOutcome`.
+
+    :param retry_steps: per-corner retry-step count; ``-1`` encodes the
+        scalar model's ``None`` (table exhausted, a read failure).
+    :param errors_per_step: full ``(corners, steps + 1)`` error matrix,
+        column 0 being the initial default-V_REF read.  Unlike the scalar
+        walk, the batch walk always evaluates every step; the scalar
+        ``errors_per_step`` tuple is the row prefix up to the stop step.
+    """
+
+    retry_steps: np.ndarray
+    final_errors: np.ndarray
+    best_step_errors: np.ndarray
+    errors_per_step: np.ndarray
+
+    @property
+    def succeeded(self) -> np.ndarray:
+        return self.retry_steps >= 0
+
+
+@dataclass(frozen=True)
+class BatchReadBehaviour:
+    """Structure-of-arrays counterpart of the flash backend's behaviours.
+
+    Mirrors :class:`repro.ssd.flash_backend.ReadBehaviour` across a lattice
+    of variation corners: retry steps with default timings, retry steps with
+    the RPT-reduced timings, and the rare reduced-timing fallback flag.
+    """
+
+    retry_steps: np.ndarray
+    retry_steps_reduced: np.ndarray
+    reduced_timing_fallback: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.retry_steps)
+
+
+class BatchErrorModel:
+    """Array-at-a-time view of a :class:`CodewordErrorModel`."""
+
+    def __init__(self, model: CodewordErrorModel = None):
+        self._model = model or CodewordErrorModel()
+        self._fresh_means = np.asarray(fresh_state_means_mv(), dtype=float)
+        self._default_refs = np.asarray(default_read_references_mv())
+
+    @property
+    def model(self) -> CodewordErrorModel:
+        return self._model
+
+    # -- per-condition distribution parameters --------------------------------
+    def _boundary_parameters(
+        self,
+        condition: OperatingCondition,
+        variation: VariationArrays,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(means, sigmas)`` arrays of shape ``(corners, 8)``.
+
+        Bitwise-equal to calling
+        :meth:`ThresholdVoltageModel.state_means_mv` /
+        :meth:`~ThresholdVoltageModel.state_sigmas_mv` per corner: the
+        condition-only scalars come from the scalar helpers and the
+        variation multipliers are applied with the same elementary
+        operations in the same order.
+        """
+        vth = self._model.vth_model
+        cal = vth.calibration
+        count = len(variation)
+
+        base_shift = vth.retention_shift_mv(condition)
+        shift = base_shift * variation.shift
+        means = np.empty((count, self._fresh_means.size))
+        means[:, 0] = self._fresh_means[0] - shift * cal.erased_shift_fraction
+        means[:, 1:] = self._fresh_means[1:][None, :] - shift[:, None]
+
+        base_multiplier = vth.sigma_multiplier(condition)
+        multiplier = base_multiplier * variation.sigma
+        sigmas = np.empty_like(means)
+        sigmas[:, 0] = cal.sigma_erased_fresh_mv * multiplier
+        sigmas[:, 1:] = (cal.sigma_programmed_fresh_mv * multiplier)[:, None]
+        return means, sigmas
+
+    def _timing_extra(
+        self,
+        reduction: Optional[TimingReduction],
+        condition: OperatingCondition,
+        variation: VariationArrays,
+    ) -> Optional[np.ndarray]:
+        """Per-corner extra errors from reduced timings (``None`` if default).
+
+        Vectorizes
+        :meth:`ReadTimingErrorModel.additional_errors_per_codeword` over the
+        timing multipliers: the condition-only pieces (phase-error sum,
+        severity, temperature amplification) are scalar calls, the
+        variation multiplier enters through the same multiply/min sequence.
+        """
+        if reduction is None or reduction.is_default:
+            return None
+        timing = self._model.timing_model
+        cal = timing.calibration
+        severity = timing.severity(condition) * variation.timing
+        base_errors = timing.phase_error_sum(reduction) * severity
+
+        temperature_factor = timing.temperature_amplification(condition)
+        temperature_fraction = max(0.0, temperature_factor - 1.0)
+        if cal.temperature_amplification_at_30c > 0:
+            temperature_share = temperature_fraction / cal.temperature_amplification_at_30c
+        else:
+            temperature_share = 0.0
+        temperature_extra = np.minimum(
+            base_errors * temperature_fraction,
+            cal.temperature_extra_error_cap_at_30c * temperature_share,
+        )
+        return base_errors + temperature_extra
+
+    def _boundary_contributions(
+        self,
+        condition: OperatingCondition,
+        shifts_mv: np.ndarray,
+        variation: VariationArrays,
+    ) -> np.ndarray:
+        """Per-boundary error contributions, shape ``(corners, steps, 7)``.
+
+        Entry ``[i, s, b]`` is ``cells_per_state * (low_tail + high_tail)``
+        of boundary ``b`` at V_REF shift ``shifts_mv[s]`` for corner ``i`` —
+        the term the scalar :meth:`CodewordErrorModel.expected_errors`
+        accumulates per sensed boundary.  Computing all seven boundaries
+        once lets the three page types share the heavy erfc work.
+        """
+        means, sigmas = self._boundary_parameters(condition, variation)
+        lower_mu, lower_sigma = means[:, :-1], sigmas[:, :-1]
+        upper_mu, upper_sigma = means[:, 1:], sigmas[:, 1:]
+        cells_per_state = self._model.cells_per_state
+
+        count, steps = len(variation), len(shifts_mv)
+        contributions = np.empty((count, steps, NUM_BOUNDARIES))
+        for boundary in range(NUM_BOUNDARIES):
+            voltage = self._default_refs[boundary] + shifts_mv * BOUNDARY_SHIFT_WEIGHTS[boundary]
+            voltages = voltage[None, :]
+            low_z = (voltages - lower_mu[:, boundary, None]) / lower_sigma[:, boundary, None]
+            low_tail = 0.5 * _erfc(low_z / _SQRT2)
+            high_z = (upper_mu[:, boundary, None] - voltages) / upper_sigma[:, boundary, None]
+            high_tail = 0.5 * _erfc(high_z / _SQRT2)
+            contributions[:, :, boundary] = cells_per_state * (low_tail + high_tail)
+        return contributions
+
+    def _sum_page_errors(
+        self,
+        contributions: np.ndarray,
+        page_type: PageType,
+        temperature_extra: float,
+        timing_extra: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Fold boundary contributions into ``(corners, steps)`` error counts.
+
+        The sensed boundaries are accumulated in the scalar model's
+        iteration order, then the temperature and timing extras are added in
+        the scalar order, so every element reproduces the scalar float
+        exactly.
+        """
+        errors = np.zeros(contributions.shape[:2])
+        for boundary in page_type.sensed_boundaries:
+            errors = errors + contributions[:, :, boundary]
+        errors = errors + temperature_extra
+        if timing_extra is not None:
+            errors = errors + timing_extra[:, None]
+        return errors
+
+    # -- public API -----------------------------------------------------------
+    def expected_errors_grid(
+        self,
+        condition: OperatingCondition,
+        page_type: PageType,
+        shifts_mv: Sequence[float],
+        variation: VariationArrays,
+        timing_reduction: TimingReduction = None,
+    ) -> np.ndarray:
+        """Expected errors over a (corner x V_REF-shift) grid.
+
+        Returns shape ``(len(variation), len(shifts_mv))``; element
+        ``[i, s]`` equals the scalar
+        :meth:`CodewordErrorModel.expected_errors` bit for bit.
+        """
+        shifts = np.asarray(shifts_mv, dtype=float)
+        contributions = self._boundary_contributions(condition, shifts, variation)
+        temperature_extra = self._model.vth_model.temperature_extra_errors_per_kib(condition)
+        timing_extra = self._timing_extra(timing_reduction, condition, variation)
+        return self._sum_page_errors(contributions, page_type, temperature_extra, timing_extra)
+
+    def expected_errors(
+        self,
+        pe_cycles,
+        retention_months,
+        temperature_c,
+        page_type: PageType,
+        reference_shift_mv=0.0,
+        variation: VariationArrays = None,
+        timing_reduction: TimingReduction = None,
+    ) -> np.ndarray:
+        """Elementwise expected errors over arrays of operating conditions.
+
+        All array arguments are broadcast to a common length ``N``; the
+        result is the ``(N,)`` array of per-item scalar
+        :meth:`CodewordErrorModel.expected_errors` values.  Items are
+        grouped by distinct condition so each group runs as one vector op.
+        """
+        pe = np.atleast_1d(np.asarray(pe_cycles))
+        ret = np.atleast_1d(np.asarray(retention_months, dtype=float))
+        temp = np.atleast_1d(np.asarray(temperature_c, dtype=float))
+        shift_mv = np.atleast_1d(np.asarray(reference_shift_mv, dtype=float))
+        count = max(
+            len(pe),
+            len(ret),
+            len(temp),
+            len(shift_mv),
+            len(variation) if variation is not None else 1,
+        )
+        pe = np.broadcast_to(pe, (count,))
+        ret = np.broadcast_to(ret, (count,))
+        temp = np.broadcast_to(temp, (count,))
+        shift_mv = np.broadcast_to(shift_mv, (count,))
+        if variation is None:
+            variation = VariationArrays.nominal(count)
+        elif len(variation) == 1 and count > 1:
+            variation = VariationArrays(
+                shift=np.broadcast_to(variation.shift, (count,)),
+                sigma=np.broadcast_to(variation.sigma, (count,)),
+                timing=np.broadcast_to(variation.timing, (count,)),
+            )
+        if len(variation) != count:
+            raise ValueError(
+                f"variation arrays of length {len(variation)} do not broadcast to {count} items"
+            )
+
+        result = np.empty(count)
+        item_keys = [
+            (int(p), float(r), float(t), float(s)) for p, r, t, s in zip(pe, ret, temp, shift_mv)
+        ]
+        groups: Dict[tuple, list] = {}
+        for index, key in enumerate(item_keys):
+            groups.setdefault(key, []).append(index)
+        for (p, r, t, s), indices in groups.items():
+            condition = OperatingCondition(pe_cycles=p, retention_months=r, temperature_c=t)
+            idx = np.asarray(indices)
+            grid = self.expected_errors_grid(
+                condition,
+                page_type,
+                [s],
+                variation.take(idx),
+                timing_reduction=timing_reduction,
+            )
+            result[idx] = grid[:, 0]
+        return result
+
+    def walk_retry_table(
+        self,
+        condition: OperatingCondition,
+        page_type: PageType,
+        variation: VariationArrays,
+        table: ReadRetryTable = None,
+        timing_reduction: TimingReduction = None,
+        retry_timing_reduction: TimingReduction = None,
+        capability: int = None,
+    ) -> BatchRetryOutcome:
+        """Vectorized :meth:`CodewordErrorModel.walk_retry_table`.
+
+        Walks every corner of ``variation`` through the retry table under
+        one operating condition; retry-step counts, final errors and
+        best-step errors match the scalar walk bit for bit (``-1`` stands
+        in for the scalar ``None``).  Only the deterministic expected-value
+        walk is vectorized; Poisson-sampled walks stay scalar.
+        """
+        table = table or ReadRetryTable()
+        capability = capability if capability is not None else self._model.ecc_capability
+        if retry_timing_reduction is None:
+            retry_timing_reduction = timing_reduction
+        shifts = np.array([0.0] + [table.shift_for_step(step) for step in table.steps()])
+        contributions = self._boundary_contributions(condition, shifts, variation)
+        temperature_extra = self._model.vth_model.temperature_extra_errors_per_kib(condition)
+        initial_extra = self._timing_extra(timing_reduction, condition, variation)
+        retry_extra = self._timing_extra(retry_timing_reduction, condition, variation)
+        base = self._sum_page_errors(contributions, page_type, temperature_extra, None)
+        errors = base.copy()
+        if initial_extra is not None:
+            errors[:, 0] = base[:, 0] + initial_extra
+        if retry_extra is not None:
+            errors[:, 1:] = base[:, 1:] + retry_extra[:, None]
+        return self._walk_from_errors(errors, capability)
+
+    @staticmethod
+    def _walk_from_errors(errors: np.ndarray, capability: float) -> BatchRetryOutcome:
+        success = errors <= capability
+        any_success = success.any(axis=1)
+        first = np.argmax(success, axis=1)
+        retry_steps = np.where(any_success, first, -1)
+
+        rows = np.arange(errors.shape[0])
+        # The scalar walk stops at the first success, so its running best
+        # only covers the attempted prefix; failed walks attempt everything.
+        stop = np.where(any_success, first, errors.shape[1] - 1)
+        running_best = np.minimum.accumulate(errors, axis=1)
+        best = running_best[rows, stop]
+        final = np.where(any_success, errors[rows, first], best)
+        return BatchRetryOutcome(
+            retry_steps=retry_steps,
+            final_errors=final,
+            best_step_errors=best,
+            errors_per_step=errors,
+        )
+
+    def read_behaviour_lattice(
+        self,
+        condition: OperatingCondition,
+        variation: VariationArrays,
+        pre_reduction: float,
+        page_types: Sequence[PageType] = tuple(PageType),
+        table: ReadRetryTable = None,
+        capability: int = None,
+    ) -> Dict[PageType, BatchReadBehaviour]:
+        """The flash backend's read behaviour across a full corner lattice.
+
+        For each page type, reproduces
+        :meth:`repro.ssd.flash_backend.FlashBackend.read_behaviour` for
+        every corner in one pass: the default-timing walk, the RPT-reduced
+        retry walk (derived by adding the per-corner timing extra to the
+        shared step errors, exactly the scalar operation order) and the
+        reduced-timing fallback flag.  The seven per-boundary tail matrices
+        are computed once and shared by all page types.
+        """
+        table = table or ReadRetryTable()
+        capability = capability if capability is not None else self._model.ecc_capability
+        shifts = np.array([0.0] + [table.shift_for_step(step) for step in table.steps()])
+        contributions = self._boundary_contributions(condition, shifts, variation)
+        temperature_extra = self._model.vth_model.temperature_extra_errors_per_kib(condition)
+        timing_extra = None
+        if pre_reduction > 0.0:
+            reduction = TimingReduction(pre=pre_reduction)
+            timing_extra = self._timing_extra(reduction, condition, variation)
+
+        lattice: Dict[PageType, BatchReadBehaviour] = {}
+        for page_type in page_types:
+            errors = self._sum_page_errors(contributions, page_type, temperature_extra, None)
+            success = errors <= capability
+            any_success = success.any(axis=1)
+            first = np.argmax(success, axis=1)
+            # A failed default walk charges the whole table (footnote 13).
+            default_steps = np.where(any_success, first, table.num_entries)
+
+            if timing_extra is not None:
+                reduced_errors = errors[:, 1:] + timing_extra[:, None]
+                reduced_success = reduced_errors <= capability
+                reduced_any = reduced_success.any(axis=1)
+                reduced_first = np.argmax(reduced_success, axis=1) + 1
+                needs_reduced = default_steps > 0
+                fallback = needs_reduced & ~reduced_any
+                reduced_steps = np.where(
+                    needs_reduced,
+                    np.where(reduced_any, reduced_first, default_steps),
+                    default_steps,
+                )
+            else:
+                reduced_steps = default_steps.copy()
+                fallback = np.zeros(len(variation), dtype=bool)
+            lattice[page_type] = BatchReadBehaviour(
+                retry_steps=default_steps.astype(np.int64),
+                retry_steps_reduced=reduced_steps.astype(np.int64),
+                reduced_timing_fallback=fallback,
+            )
+        return lattice

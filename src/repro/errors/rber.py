@@ -91,6 +91,15 @@ class CodewordErrorModel:
     def ecc_capability(self) -> int:
         return self._ecc.capability_bits
 
+    @property
+    def ecc_calibration(self) -> EccCalibration:
+        return self._ecc
+
+    @property
+    def cells_per_state(self) -> int:
+        """Cells of one codeword that sit in each of the eight V_TH states."""
+        return self._ecc.codeword_bytes * 8 // NUM_STATES
+
     # -- expected error counts -------------------------------------------------
     def expected_errors(self, condition: OperatingCondition,
                         page_type: PageType,

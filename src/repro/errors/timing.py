@@ -109,7 +109,34 @@ class ReadTimingErrorModel:
             severity *= variation.timing_multiplier
 
         cal = self._calibration
-        temperature_factor = self._temperature_amplification(condition)
+        temperature_factor = self.temperature_amplification(condition)
+        errors = self.phase_error_sum(reduction)
+        base_errors = errors * severity
+        # Low operating temperature amplifies the undercharge errors, but the
+        # amplification is bounded by the small population of
+        # temperature-marginal bitlines (Figure 10: at most ~7 extra errors).
+        temperature_fraction = max(0.0, temperature_factor - 1.0)
+        if cal.temperature_amplification_at_30c > 0:
+            temperature_share = (temperature_fraction
+                                 / cal.temperature_amplification_at_30c)
+        else:
+            temperature_share = 0.0
+        temperature_extra = min(
+            base_errors * temperature_fraction,
+            cal.temperature_extra_error_cap_at_30c * temperature_share)
+        return base_errors + temperature_extra
+
+    def phase_error_sum(self, reduction: TimingReduction) -> float:
+        """Condition-independent expected extra errors of a reduction.
+
+        This is the sum of the three per-phase outlier-bitline terms before
+        the operating-condition severity and temperature scaling are applied;
+        :meth:`additional_errors_per_codeword` multiplies it by the severity.
+        It is exposed separately so that the vectorized kernel in
+        :mod:`repro.errors.batch` can evaluate it once per condition and
+        broadcast it across variation corners.
+        """
+        cal = self._calibration
         # A shortened discharge phase leaves residual charge on the bitlines,
         # which effectively lengthens the precharge requirement of the next
         # sensing cycle (Section 2.2); the coupling grows quadratically so a
@@ -130,20 +157,7 @@ class ReadTimingErrorModel:
             remaining_us=self._default.t_disch_us * (1.0 - reduction.disch),
             default_us=self._default.t_disch_us,
             log_median=cal.disch_log_median_us, log_sigma=cal.disch_log_sigma)
-        base_errors = errors * severity
-        # Low operating temperature amplifies the undercharge errors, but the
-        # amplification is bounded by the small population of
-        # temperature-marginal bitlines (Figure 10: at most ~7 extra errors).
-        temperature_fraction = max(0.0, temperature_factor - 1.0)
-        if cal.temperature_amplification_at_30c > 0:
-            temperature_share = (temperature_fraction
-                                 / cal.temperature_amplification_at_30c)
-        else:
-            temperature_share = 0.0
-        temperature_extra = min(
-            base_errors * temperature_fraction,
-            cal.temperature_extra_error_cap_at_30c * temperature_share)
-        return base_errors + temperature_extra
+        return errors
 
     def severity(self, condition: OperatingCondition) -> float:
         """Operating-condition scaling of timing-induced errors.
@@ -207,7 +221,7 @@ class ReadTimingErrorModel:
         z = (math.log(duration_us) - log_median) / log_sigma
         return _standard_normal_sf(z)
 
-    def _temperature_amplification(self, condition: OperatingCondition) -> float:
+    def temperature_amplification(self, condition: OperatingCondition) -> float:
         """Low-temperature amplification of timing-induced errors (Figure 10)."""
         cal = self._calibration
         reference = 85.0

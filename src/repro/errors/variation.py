@@ -63,6 +63,10 @@ class ProcessVariation:
         self._seed = int(seed)
         self._calibration = calibration
         self._cache = {}
+        # Chip-level draws are shared by every block of a chip; caching them
+        # avoids re-seeding an RNG per block when a whole lattice is
+        # enumerated (there are only a handful of chips, so this stays tiny).
+        self._chip_draws = {}
 
     @property
     def seed(self) -> int:
@@ -76,7 +80,10 @@ class ProcessVariation:
         if cached is not None:
             return cached
         cal = self._calibration
-        chip_draws = self._draws(("chip", chip), 3)
+        chip_draws = self._chip_draws.get(chip)
+        if chip_draws is None:
+            chip_draws = self._draws(("chip", chip), 3)
+            self._chip_draws[chip] = chip_draws
         block_draws = self._draws(("block", chip, block), 3)
         wl_draws = self._draws(("wl", chip, block, wordline), 2)
 

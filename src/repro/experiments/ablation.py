@@ -23,7 +23,6 @@ from repro.experiments.api import param, register_experiment
 from repro.experiments.common import default_experiment_config
 from repro.experiments.reporting import ExperimentResult
 from repro.sim.session import Simulation
-from repro.ssd.config import SsdConfig
 from repro.ssd.metrics import normalized_response_times
 
 

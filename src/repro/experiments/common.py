@@ -19,7 +19,6 @@ from repro.sim.registry import default_registry
 from repro.sim.session import Simulation
 from repro.sim.sweep import SweepRunner, rows_from_cells
 from repro.ssd.config import SsdConfig
-from repro.ssd.controller import SimulationResult
 from repro.workloads.synthetic import WorkloadShape
 
 #: The operating-condition grid of Figures 14/15: P/E cycles (x1000) and

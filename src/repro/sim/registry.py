@@ -22,7 +22,7 @@ tuple; lookup is case-insensitive and a duplicate name is an error unless
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
 

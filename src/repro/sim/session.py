@@ -19,7 +19,7 @@ JSON-able manifest describing the run exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.rpt import ReadTimingParameterTable
 from repro.sim.registry import default_registry

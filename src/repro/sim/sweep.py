@@ -22,6 +22,12 @@ Request streams depend only on (workload spec, seed, footprint), not on the
 operating condition, so each process keeps a small per-stream cache instead
 of regenerating the stream for every condition cell the way the seed's
 ``run_workload_grid`` did.
+
+Retry-step grids are likewise built once, not per worker: the parent
+vectorizes the slabs of every condition in the sweep and serializes them
+into the cell payloads, and workers install them into their process-shared
+:func:`repro.ssd.retry_grid.shared_grid` (a no-op under ``fork``, where the
+parent's grids are inherited) instead of recomputing behaviour lattices.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from repro.sim.registry import default_registry
 from repro.sim.spec import Condition, WorkloadSpec
 from repro.ssd.config import SsdConfig
 from repro.ssd.controller import SimulationResult, SsdSimulator
+from repro.ssd.retry_grid import shared_grid
 from repro.ssd.metrics import normalized_response_times
 from repro.ssd.request import HostRequest, RequestKind
 from repro.workloads.catalog import WORKLOAD_CATALOG
@@ -133,6 +140,12 @@ def _run_cell(payload: dict) -> Tuple[str, Tuple[int, float],
     spec = WorkloadSpec.from_dict(payload["workload"])
     condition = Condition.from_dict(payload["condition"])
     rpt = payload.get("rpt") or _default_rpt()
+    slabs = payload.get("grid_slabs")
+    if slabs:
+        # Install the parent-built retry-step slabs into this process's
+        # shared grid instead of recomputing them per worker (a fork-start
+        # worker usually inherited them already; install_slabs then no-ops).
+        shared_grid(config, rpt).install_slabs(slabs)
     registry = default_registry()
     raw = _cached_stream(spec, config)
     results: Dict[str, SimulationResult] = {}
@@ -304,6 +317,34 @@ class SweepRunner:
                 })
         return payloads
 
+    def _attach_grid_slabs(self, payloads, conditions) -> None:
+        """Precompute retry-step slabs once and ship them with each cell.
+
+        Every cell reads cold data at its condition and rewritten data at
+        (P/E, 0); building those slabs in the parent and serializing them
+        into the payloads means workers install the grid instead of each
+        recomputing it (the point of sharing — one vectorized pass serves
+        the whole sweep).
+        """
+        grid = shared_grid(self.config, self.rpt or _default_rpt())
+        pairs = set()
+        for condition in conditions:
+            pairs.add((condition.pe_cycles, float(condition.retention_months)))
+            pairs.add((condition.pe_cycles, 0.0))
+        exports = {}
+        for pair in sorted(pairs):
+            # Export each slab immediately after its prefill: a sweep with
+            # more conditions than the grid's slab bound would otherwise
+            # evict early slabs before the batch export reads them.
+            grid.prefill([pair])
+            exports[pair] = grid.export_slabs([pair])[0]
+        for payload in payloads:
+            cell = payload["condition"]
+            cell_pairs = [(cell["pe_cycles"], float(cell["retention_months"])),
+                          (cell["pe_cycles"], 0.0)]
+            payload["grid_slabs"] = [exports[pair]
+                                     for pair in dict.fromkeys(cell_pairs)]
+
     # -- execution ------------------------------------------------------------
     def run(self, policies: Optional[Iterable[str]] = None,
             workloads: Iterable[Union[str, WorkloadSpec]] = (),
@@ -338,6 +379,7 @@ class SweepRunner:
             # the first policy (its rows then read exactly 1.0).
             baseline = policy_names[0]
         payloads = self._payloads(specs, condition_objs, policy_names)
+        self._attach_grid_slabs(payloads, condition_objs)
 
         outcomes = pool_map(_run_cell, payloads, self.processes)
 

@@ -16,6 +16,8 @@ reproduces the read-retry behaviour of a real characterized block
 * :mod:`repro.ssd.flash_backend` — per-block read-retry profiles derived from
   the calibrated error model (the "each simulated block behaves like a real
   characterized block" device model).
+* :mod:`repro.ssd.retry_grid` — the vectorized, process-shared
+  (condition x page type x corner) retry-step grid serving the read hot path.
 * :mod:`repro.ssd.scheduler` — per-die transaction scheduling with read
   priority (out-of-order I/O scheduling) and program/erase suspension.
 * :mod:`repro.ssd.controller` — the simulator that ties everything together.
@@ -26,6 +28,7 @@ from repro.ssd.config import SsdConfig
 from repro.ssd.request import HostRequest, RequestKind
 from repro.ssd.metrics import SimulationMetrics
 from repro.ssd.controller import SsdSimulator, SimulationResult
+from repro.ssd.retry_grid import RetryStepGrid
 
 __all__ = [
     "SsdConfig",
@@ -34,4 +37,5 @@ __all__ = [
     "SimulationMetrics",
     "SsdSimulator",
     "SimulationResult",
+    "RetryStepGrid",
 ]

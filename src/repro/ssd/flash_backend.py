@@ -9,24 +9,30 @@ model:
 * every simulated block gets a process-variation sample (as if it were a
   randomly drawn real block),
 * the number of retry steps a read needs — with the default timing
-  parameters and with the AR2-reduced ones — is computed from the error
-  model and memoized per (condition bin, page type, block corner),
+  parameters and with the AR2-reduced ones — is served from a
+  :class:`repro.ssd.retry_grid.RetryStepGrid`, which precomputes the full
+  (condition x page type x variation corner) lattice in vectorized passes
+  and falls back to exact scalar walks for cold conditions,
 * AR2's rare fallback case (a page that no longer decodes with reduced
   timings) surfaces naturally: the reduced-timing walk may need one more
   step than the default-timing walk, or may fail entirely, in which case the
   controller re-runs the read-retry operation with default timings
   (Section 6.2, "Overhead").
+
+The seed kept an unbounded per-backend dict memo that silently stopped
+caching at 500k entries; the grid replaces it with bounded, explicitly
+evicted storage that is shared across simulators of the same configuration.
+The backend tracks how its queries were served (``grid_hits`` versus
+``scalar_fallbacks``) and the simulator surfaces both counters through
+:class:`repro.ssd.metrics.SimulationMetrics`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
 
 from repro.core.rpt import ReadTimingParameterTable
-from repro.errors.condition import OperatingCondition
 from repro.errors.rber import CodewordErrorModel
-from repro.errors.timing import TimingReduction
 from repro.errors.variation import ProcessVariation
 from repro.nand.geometry import PageType
 from repro.nand.voltage import ReadRetryTable
@@ -53,19 +59,45 @@ class FlashBackend:
     def __init__(self, config: SsdConfig,
                  rpt: ReadTimingParameterTable = None,
                  error_model: CodewordErrorModel = None,
-                 retry_table: ReadRetryTable = None):
+                 retry_table: ReadRetryTable = None,
+                 grid=None):
         self.config = config
+        self._custom_models = (error_model is not None
+                               or retry_table is not None)
         self.error_model = error_model or CodewordErrorModel()
         self.retry_table = retry_table or ReadRetryTable()
         self._rpt = rpt
         self._variation = ProcessVariation(seed=config.seed)
-        self._cache: Dict[Tuple, ReadBehaviour] = {}
+        self._grid = grid
+        #: Reads answered from a precomputed grid slab.
+        self.grid_hits = 0
+        #: Reads answered by an exact scalar walk (cold condition).
+        self.scalar_fallbacks = 0
 
     @property
     def rpt(self) -> ReadTimingParameterTable:
         if self._rpt is None:
             self._rpt = ReadTimingParameterTable.default()
         return self._rpt
+
+    @property
+    def grid(self):
+        """The retry-step grid serving this backend (built on first use).
+
+        Backends with default error models share the process-wide grid of
+        their configuration; a custom error model or retry table gets a
+        private grid so it cannot pollute the shared one.
+        """
+        if self._grid is None:
+            from repro.ssd.retry_grid import RetryStepGrid, shared_grid
+
+            if self._custom_models:
+                self._grid = RetryStepGrid(self.config, rpt=self.rpt,
+                                           error_model=self.error_model,
+                                           retry_table=self.retry_table)
+            else:
+                self._grid = shared_grid(self.config, self.rpt)
+        return self._grid
 
     # -- per-block identity ----------------------------------------------------------
     def block_variation(self, physical: PhysicalPage):
@@ -83,67 +115,25 @@ class FlashBackend:
     def read_behaviour(self, physical: PhysicalPage, page_type: PageType,
                        pe_cycles: int, retention_months: float) -> ReadBehaviour:
         """Retry-step counts for a read of ``physical`` under its condition."""
-        condition = OperatingCondition(
-            pe_cycles=pe_cycles,
-            retention_months=retention_months,
-            temperature_c=self.config.temperature_c)
-        variation = self.block_variation(physical)
-        key = self._cache_key(condition, page_type, variation)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-
-        default_walk = self.error_model.walk_retry_table(
-            condition, page_type, table=self.retry_table, variation=variation)
-        default_steps = self._steps_or_table_limit(default_walk.retry_steps)
-
-        entry = self.rpt.entry_for(pe_cycles, retention_months)
-        if entry.pre_reduction > 0.0 and default_steps > 0:
-            reduction = TimingReduction(pre=entry.pre_reduction)
-            reduced_walk = self.error_model.walk_retry_table(
-                condition, page_type, table=self.retry_table,
-                variation=variation, retry_timing_reduction=reduction)
-            if reduced_walk.retry_steps is None:
-                # The reduced-timing retry operation failed: AR2 falls back
-                # to a full default-timing retry operation.
-                behaviour = ReadBehaviour(
-                    retry_steps=default_steps,
-                    retry_steps_reduced=default_steps,
-                    reduced_timing_fallback=True)
-            else:
-                behaviour = ReadBehaviour(
-                    retry_steps=default_steps,
-                    retry_steps_reduced=reduced_walk.retry_steps,
-                    reduced_timing_fallback=False)
+        chip = physical.channel * self.config.dies_per_channel + physical.die
+        block = physical.plane * self.config.blocks_per_plane + physical.block
+        behaviour, from_grid = self.grid.behaviour(
+            page_type, pe_cycles, retention_months, chip, block)
+        if from_grid:
+            self.grid_hits += 1
         else:
-            behaviour = ReadBehaviour(retry_steps=default_steps,
-                                      retry_steps_reduced=default_steps,
-                                      reduced_timing_fallback=False)
-
-        if len(self._cache) < 500_000:
-            self._cache[key] = behaviour
+            self.scalar_fallbacks += 1
         return behaviour
 
-    # -- helpers -------------------------------------------------------------------------
-    def _steps_or_table_limit(self, steps: Optional[int]) -> int:
-        """A failed read exhausted the whole table (footnote 13)."""
-        if steps is None:
-            return self.retry_table.num_entries
-        return steps
+    def prefill_conditions(self, conditions) -> None:
+        """Vectorize the slabs of conditions known to be coming.
 
-    def _cache_key(self, condition: OperatingCondition, page_type: PageType,
-                   variation) -> Tuple:
-        """Coarse memoization key (condition and variation are quantized)."""
-        return (
-            condition.pe_cycles,
-            round(condition.retention_months, 2),
-            round(condition.temperature_c, 1),
-            page_type,
-            round(variation.shift_multiplier, 3),
-            round(variation.sigma_multiplier, 3),
-            round(variation.timing_multiplier, 3),
-        )
+        Called by the simulator at precondition time with the aged-data
+        condition, which serves nearly every read of a run.
+        """
+        self.grid.prefill(conditions)
 
     @property
     def cache_size(self) -> int:
-        return len(self._cache)
+        """Behaviours currently cached for this backend's configuration."""
+        return self.grid.cache_size

@@ -10,7 +10,7 @@ normalization helpers the experiment harnesses use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -30,6 +30,10 @@ class SimulationMetrics:
     gc_erases: int = 0
     reduced_timing_fallbacks: int = 0
     simulated_time_us: float = 0.0
+    #: Reads whose retry behaviour came from a precomputed grid slab.
+    grid_hits: int = 0
+    #: Reads that needed an exact scalar walk (cold condition).
+    scalar_fallbacks: int = 0
 
     # -- recording -----------------------------------------------------------------
     def record_read(self, response_us: float, retry_steps: int) -> None:
@@ -104,6 +108,8 @@ class SimulationMetrics:
             "gc_erases": self.gc_erases,
             "die_utilization": round(self.die_utilization(), 3),
             "reduced_timing_fallbacks": self.reduced_timing_fallbacks,
+            "grid_hits": self.grid_hits,
+            "scalar_fallbacks": self.scalar_fallbacks,
         }
 
 

@@ -24,7 +24,6 @@ from repro.characterization.timing_sweep import (
     temperature_sweep,
 )
 from repro.errors.condition import OperatingCondition
-from repro.errors.timing import TimingReduction
 
 
 class TestPlatform:

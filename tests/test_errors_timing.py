@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors.condition import OperatingCondition
-from repro.errors.timing import ReadTimingErrorModel, TimingReduction
+from repro.errors.timing import TimingReduction
 from repro.errors.variation import VariationSample
 from repro.nand.timing import ReadTimingParameters
 

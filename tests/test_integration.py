@@ -1,6 +1,5 @@
 """End-to-end integration tests spanning the whole stack."""
 
-import pytest
 
 from repro import quick_ssd_comparison
 from repro.characterization.platform import VirtualTestPlatform

@@ -78,8 +78,10 @@ class TestReadFailurePath:
     def test_simulation_survives_unreadable_pages(self, default_rpt):
         config = SsdConfig.tiny()
         simulator = SsdSimulator(config, policy="Baseline", rpt=default_rpt)
-        simulator.backend.retry_table = ReadRetryTable(num_entries=4)
-        simulator.backend._cache.clear()
+        # A custom retry table gives the backend a private grid, so the
+        # shortened table cannot pollute the process-shared one.
+        simulator.backend = FlashBackend(
+            config, rpt=default_rpt, retry_table=ReadRetryTable(num_entries=4))
         simulator.precondition(pe_cycles=2000, retention_months=12.0)
         requests = [HostRequest(i * 200.0, RequestKind.READ, i)
                     for i in range(10)]

@@ -1,0 +1,186 @@
+"""The retry-step grid: slab building, lazy promotion, eviction, sharing."""
+
+import pickle
+
+import pytest
+
+from repro.core.rpt import ReadTimingParameterTable
+from repro.errors.rber import CodewordErrorModel
+from repro.nand.geometry import PageType
+from repro.nand.voltage import ReadRetryTable
+from repro.ssd.config import SsdConfig
+from repro.ssd.controller import SsdSimulator
+from repro.ssd.flash_backend import FlashBackend
+from repro.ssd.ftl import PhysicalPage
+from repro.ssd.request import HostRequest, RequestKind
+from repro.ssd.retry_grid import (
+    RetryStepGrid,
+    clear_shared_grids,
+    rpt_fingerprint,
+    shared_grid,
+)
+
+
+@pytest.fixture()
+def config() -> SsdConfig:
+    return SsdConfig.tiny()
+
+
+@pytest.fixture()
+def grid(config, default_rpt) -> RetryStepGrid:
+    return RetryStepGrid(config, rpt=default_rpt)
+
+
+class TestGridGeometry:
+    def test_one_corner_per_physical_block(self, grid, config):
+        assert grid.corner_count == (config.channels * config.dies_per_channel
+                                     * config.planes_per_die
+                                     * config.blocks_per_plane)
+
+    def test_corner_variation_matches_backend(self, grid, config, default_rpt):
+        backend = FlashBackend(config, rpt=default_rpt)
+        physical = PhysicalPage(channel=1, die=0, plane=0, block=5, page=0)
+        chip = physical.channel * config.dies_per_channel + physical.die
+        block = physical.plane * config.blocks_per_plane + physical.block
+        arrays = grid.variation_arrays()
+        sample = arrays.sample_at(grid.corner_index(chip, block))
+        assert sample == backend.block_variation(physical)
+
+
+class TestSlabLifecycle:
+    def test_prefill_builds_vectorized_slab(self, grid):
+        grid.prefill([(1000, 6.0)])
+        assert grid.cached_conditions == 1
+        assert grid.slab_builds == 1
+        behaviour, from_grid = grid.behaviour(PageType.CSB, 1000, 6.0, 0, 3)
+        assert from_grid
+        assert behaviour.retry_steps > 0
+
+    def test_grid_matches_scalar_fallback(self, config, default_rpt):
+        """The slab and the scalar path must agree behaviour-for-behaviour."""
+        eager = RetryStepGrid(config, rpt=default_rpt, promote_threshold=1)
+        lazy = RetryStepGrid(config, rpt=default_rpt,
+                             promote_threshold=10_000)
+        for page_type in PageType:
+            for chip in range(eager.chips):
+                for block in (0, 7, 15):
+                    fast, from_grid = eager.behaviour(page_type, 2000, 12.0,
+                                                      chip, block)
+                    slow, from_slab = lazy.behaviour(page_type, 2000, 12.0,
+                                                     chip, block)
+                    assert from_grid and not from_slab
+                    assert fast == slow
+
+    def test_promotion_after_threshold(self, config, default_rpt):
+        grid = RetryStepGrid(config, rpt=default_rpt, promote_threshold=3)
+        for query in range(2):
+            _, from_grid = grid.behaviour(PageType.LSB, 500, 3.0, 0, query)
+            assert not from_grid
+        assert grid.cached_conditions == 0
+        _, from_grid = grid.behaviour(PageType.LSB, 500, 3.0, 0, 2)
+        assert from_grid
+        assert grid.cached_conditions == 1
+
+    def test_slab_eviction_is_bounded(self, config, default_rpt):
+        grid = RetryStepGrid(config, rpt=default_rpt, promote_threshold=1,
+                             max_conditions=2)
+        for pe_cycles in (100, 200, 300, 400):
+            grid.behaviour(PageType.CSB, pe_cycles, 0.0, 0, 0)
+        assert grid.cached_conditions == 2
+
+    def test_scalar_memo_eviction_is_bounded(self, config, default_rpt):
+        grid = RetryStepGrid(config, rpt=default_rpt,
+                             promote_threshold=10_000, max_scalar_entries=5)
+        for block in range(8):
+            grid.behaviour(PageType.CSB, 1000, 6.0, 0, block)
+        assert grid.scalar_memo_size <= 5
+
+
+class TestSlabSerialization:
+    def test_export_install_roundtrip(self, config, default_rpt):
+        source = RetryStepGrid(config, rpt=default_rpt)
+        source.prefill([(1000, 6.0), (1000, 0.0)])
+        payload = pickle.loads(pickle.dumps(source.export_slabs()))
+
+        target = RetryStepGrid(config, rpt=default_rpt)
+        assert target.install_slabs(payload) == 2
+        assert target.slab_builds == 0
+        for page_type in PageType:
+            for block in (0, 9):
+                original, _ = source.behaviour(page_type, 1000, 6.0, 1, block)
+                installed, from_grid = target.behaviour(page_type, 1000, 6.0,
+                                                        1, block)
+                assert from_grid
+                assert installed == original
+
+    def test_install_skips_existing_conditions(self, config, default_rpt):
+        source = RetryStepGrid(config, rpt=default_rpt)
+        source.prefill([(500, 1.0)])
+        payload = source.export_slabs()
+        target = RetryStepGrid(config, rpt=default_rpt)
+        target.prefill([(500, 1.0)])
+        assert target.install_slabs(payload) == 0
+
+    def test_export_filter(self, config, default_rpt):
+        grid_obj = RetryStepGrid(config, rpt=default_rpt)
+        grid_obj.prefill([(100, 0.0), (200, 0.0)])
+        only = grid_obj.export_slabs([(200, 0.0)])
+        assert len(only) == 1
+        assert only[0]["pe_cycles"] == 200
+
+
+class TestSharedGrids:
+    def test_same_config_and_rpt_share_a_grid(self, config, default_rpt):
+        clear_shared_grids()
+        try:
+            first = shared_grid(config, default_rpt)
+            second = shared_grid(SsdConfig.tiny(), default_rpt)
+            assert first is second
+        finally:
+            clear_shared_grids()
+
+    def test_fingerprint_is_value_based(self, default_rpt):
+        rebuilt = pickle.loads(pickle.dumps(default_rpt))
+        assert rebuilt is not default_rpt
+        assert rpt_fingerprint(rebuilt) == rpt_fingerprint(default_rpt)
+        assert (rpt_fingerprint(ReadTimingParameterTable.conservative())
+                != rpt_fingerprint(default_rpt))
+
+    def test_custom_models_get_private_grids(self, config, default_rpt):
+        clear_shared_grids()
+        try:
+            custom = FlashBackend(config, rpt=default_rpt,
+                                  retry_table=ReadRetryTable(num_entries=4))
+            default = FlashBackend(config, rpt=default_rpt)
+            assert custom.grid is not default.grid
+            assert custom.grid is not shared_grid(config, default_rpt)
+            other = FlashBackend(config, rpt=default_rpt,
+                                 error_model=CodewordErrorModel())
+            assert other.grid is not default.grid
+        finally:
+            clear_shared_grids()
+
+
+class TestSimulatorIntegration:
+    def test_metrics_expose_grid_counters(self, config, default_rpt):
+        simulator = SsdSimulator(config, policy="PnAR2", rpt=default_rpt)
+        simulator.precondition(pe_cycles=1000, retention_months=6.0)
+        requests = [HostRequest(i * 50.0, RequestKind.READ, i * 7)
+                    for i in range(30)]
+        result = simulator.run(requests)
+        metrics = result.metrics
+        assert metrics.grid_hits > 0
+        assert metrics.grid_hits + metrics.scalar_fallbacks >= 30
+        summary = metrics.summary()
+        assert summary["grid_hits"] == metrics.grid_hits
+        assert summary["scalar_fallbacks"] == metrics.scalar_fallbacks
+
+    def test_preconditioned_reads_hit_the_grid(self, config, default_rpt):
+        simulator = SsdSimulator(config, policy="Baseline", rpt=default_rpt)
+        simulator.precondition(pe_cycles=2000, retention_months=12.0)
+        requests = [HostRequest(i * 50.0, RequestKind.READ, i * 3)
+                    for i in range(20)]
+        result = simulator.run(requests)
+        # The cold-data slab was prefilled, so no read needed a scalar walk.
+        assert result.metrics.scalar_fallbacks == 0
+        assert result.metrics.grid_hits >= 20
