@@ -8,6 +8,9 @@ Wraps ``pytest-benchmark`` so that performance tracking is one command:
   regeneration benchmarks),
 * emits a machine-readable ``BENCH_<rev>.json`` snapshot keyed by the git
   revision (the repo's performance trajectory),
+* streams a 200k-request synthetic trace through the simulator in a child
+  process and records its **peak RSS** alongside the wall time (the
+  streaming core's fixed-memory promise, gated like a time regression),
 * compares the hot-path means against a committed baseline
   (``benchmarks/baseline.json``) and exits non-zero when any benchmark
   regressed by more than ``--max-regression`` (CI's perf gate),
@@ -19,6 +22,7 @@ Examples::
 
     python scripts/run_benchmarks.py
     python scripts/run_benchmarks.py --suite all --no-compare
+    python scripts/run_benchmarks.py --no-memory   # skip the RSS micro
     python scripts/run_benchmarks.py --update-baseline
 """
 
@@ -49,6 +53,12 @@ SUITES = {
     "all": ["benchmarks"],
 }
 
+#: Requests streamed by the peak-memory micro.  Large enough that an
+#: accidental re-materialization of the stream or the metrics lists shows
+#: up as tens of MiB of extra RSS, small enough to finish in seconds.
+MEMORY_MICRO_REQUESTS = 200_000
+MEMORY_MICRO_NAME = "stream_synthetic_200k"
+
 
 def git_revision() -> str:
     command = ["git", "rev-parse", "--short=10", "HEAD"]
@@ -59,13 +69,19 @@ def git_revision() -> str:
         return "unknown"
 
 
+def _subprocess_env() -> dict:
+    """The current environment with the repo's src/ on PYTHONPATH."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = f"{src}:{env['PYTHONPATH']}" if env.get("PYTHONPATH") else src
+    return env
+
+
 def run_pytest_benchmarks(suite: str, pytest_args: list) -> dict:
     """Run the suite under pytest-benchmark and return its JSON report."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
         report_path = handle.name
-    env = dict(os.environ)
-    src = str(REPO_ROOT / "src")
-    env["PYTHONPATH"] = f"{src}:{env['PYTHONPATH']}" if env.get("PYTHONPATH") else src
+    env = _subprocess_env()
     command = [
         sys.executable,
         "-m",
@@ -84,6 +100,93 @@ def run_pytest_benchmarks(suite: str, pytest_args: list) -> dict:
             return json.load(report)
     finally:
         os.unlink(report_path)
+
+
+def _current_rss_kib():
+    """Current (not peak) RSS in KiB via /proc, or None off-Linux."""
+    try:
+        with open("/proc/self/statm") as handle:
+            pages = int(handle.read().split()[1])
+        return pages * (os.sysconf("SC_PAGESIZE") // 1024)
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def _memory_child() -> int:
+    """Probe body: stream a synthetic trace, print peak-RSS JSON to stdout.
+
+    Runs in a dedicated child process so the parent's own allocations
+    (pytest, report parsing) cannot pollute the peak-RSS reading.  Besides
+    the absolute process peak, it reports the RSS *growth across run()*
+    (`run_rss_delta_kib`) — the interpreter/numpy import footprint
+    dominates the absolute number, so the delta is what a re-introduced
+    per-request metrics list (or any other trace-length-proportional
+    state) actually moves, and it is what the gate compares.
+    """
+    import resource
+    import time
+
+    from repro.core.rpt import ReadTimingParameterTable
+    from repro.ssd.config import SsdConfig
+    from repro.ssd.controller import SsdSimulator
+    from repro.workloads import iter_workload
+
+    config = SsdConfig.tiny()
+    footprint = int(config.logical_pages * 0.5)
+    simulator = SsdSimulator(
+        config, policy="PnAR2", rpt=ReadTimingParameterTable.default()
+    )
+    simulator.precondition(pe_cycles=1000, retention_months=6.0)
+    # YCSB-C: read-dominant, so the run exercises the aged read-retry hot
+    # path rather than GC churn, and the probe finishes in tens of seconds.
+    # The arrival rate keeps the device below saturation — in a saturated
+    # run the in-flight backlog itself grows with trace length, which would
+    # measure queueing collapse instead of the streaming core's memory.
+    stream = iter_workload(
+        "YCSB-C",
+        MEMORY_MICRO_REQUESTS,
+        footprint,
+        seed=1,
+        mean_interarrival_us=1500.0,
+    )
+    before_kib = _current_rss_kib()
+    started = time.perf_counter()
+    result = simulator.run(stream)
+    wall_s = time.perf_counter() - started
+    # ru_maxrss is KiB on Linux, bytes on macOS; normalize to KiB.
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    completed = result.metrics.host_reads + result.metrics.host_writes
+    print(
+        json.dumps(
+            {
+                "peak_rss_kib": int(peak),
+                "run_rss_delta_kib": (max(0, int(peak) - before_kib)
+                                      if before_kib is not None else None),
+                "wall_s": wall_s,
+                "requests": completed,
+                "requests_per_s": completed / wall_s if wall_s > 0 else 0.0,
+            }
+        )
+    )
+    return 0
+
+
+def run_memory_micro() -> dict:
+    """Run the streaming peak-memory probe in a child process."""
+    completed = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()), "--memory-child"],
+        cwd=REPO_ROOT,
+        env=_subprocess_env(),
+        capture_output=True,
+        text=True,
+    )
+    if completed.returncode != 0:
+        raise SystemExit(
+            f"memory micro failed (exit {completed.returncode}):\n{completed.stderr}"
+        )
+    return json.loads(completed.stdout)
 
 
 def summarize(report: dict, suite: str) -> dict:
@@ -145,6 +248,39 @@ def compare_to_baseline(
     return regressions
 
 
+def compare_memory_to_baseline(
+    snapshot: dict, baseline: dict, max_regression: float
+) -> list:
+    """Peak-RSS regressions beyond the threshold (same gate as time).
+
+    Gates on ``run_rss_delta_kib`` (RSS growth across the streamed run)
+    when both sides report it — the interpreter/numpy import footprint
+    dominates absolute RSS and would mask trace-length-proportional
+    growth — falling back to absolute ``peak_rss_kib`` otherwise.
+    """
+    regressions = []
+    for name, reference in (baseline.get("memory") or {}).items():
+        current = (snapshot.get("memory") or {}).get(name)
+        if current is None:
+            continue
+        key = "run_rss_delta_kib"
+        if not reference.get(key) or not current.get(key):
+            key = "peak_rss_kib"
+        ratio = current[key] / reference[key]
+        if ratio > 1.0 + max_regression:
+            regressions.append(
+                {
+                    "name": f"memory:{name}",
+                    "metric": key,
+                    "baseline_kib": reference[key],
+                    "current_kib": current[key],
+                    "growth": ratio,
+                }
+            )
+    regressions.sort(key=lambda entry: entry["growth"], reverse=True)
+    return regressions
+
+
 def print_report(snapshot: dict, baseline: dict | None) -> None:
     reference = (baseline or {}).get("benchmarks", {})
     width = max((len(name) for name in snapshot["benchmarks"]), default=10)
@@ -157,6 +293,26 @@ def print_report(snapshot: dict, baseline: dict | None) -> None:
         else:
             delta = "new"
         print(f"{name.ljust(width)}  {mean_us:10.1f}us  {delta:>12}")
+    reference_memory = (baseline or {}).get("memory", {})
+    for name, stats in sorted((snapshot.get("memory") or {}).items()):
+        peak_mib = stats["peak_rss_kib"] / 1024.0
+        key = "run_rss_delta_kib"
+        reference = reference_memory.get(name, {})
+        if not stats.get(key) or not reference.get(key):
+            key = "peak_rss_kib"
+        if reference.get(key):
+            ratio = stats[key] / reference[key]
+            delta = f"{(ratio - 1.0) * 100.0:+7.1f}%"
+        else:
+            delta = "new"
+        label = f"memory:{name}"
+        grew = stats.get("run_rss_delta_kib")
+        grew_text = f", run +{grew / 1024.0:.1f}MiB" if grew else ""
+        print(
+            f"{label.ljust(width)}  {peak_mib:9.1f}MiB  {delta:>12}  "
+            f"({stats['requests']} requests in {stats['wall_s']:.1f}s"
+            f"{grew_text})"
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -202,6 +358,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the snapshot without gating",
     )
     parser.add_argument(
+        "--no-memory",
+        action="store_true",
+        help="skip the streaming peak-memory micro",
+    )
+    parser.add_argument(
+        "--memory-child",
+        action="store_true",
+        help=argparse.SUPPRESS,  # internal: probe body run in a child process
+    )
+    parser.add_argument(
         "--update-baseline",
         action="store_true",
         help="write the snapshot as the new baseline",
@@ -216,9 +382,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.memory_child:
+        return _memory_child()
 
     report = run_pytest_benchmarks(args.suite, args.pytest_args)
     snapshot = summarize(report, args.suite)
+    if not args.no_memory:
+        try:
+            import resource  # noqa: F401 - probing availability, POSIX-only
+        except ImportError:
+            print(
+                "peak-memory micro skipped: the 'resource' module is "
+                "unavailable on this platform"
+            )
+        else:
+            print(
+                f"streaming {MEMORY_MICRO_REQUESTS} synthetic requests for "
+                "the peak-memory micro ..."
+            )
+            snapshot["memory"] = {MEMORY_MICRO_NAME: run_memory_micro()}
 
     output = args.output
     if output is None:
@@ -228,6 +410,15 @@ def main(argv=None) -> int:
     print(f"wrote {output}")
 
     if args.update_baseline:
+        if "memory" not in snapshot and args.baseline.exists():
+            # Keep the previous memory reference rather than writing a
+            # baseline without one — that would silently disarm the
+            # peak-RSS gate for every subsequent run.  Covers --no-memory
+            # and platforms where the probe cannot run.
+            previous = json.loads(args.baseline.read_text())
+            if "memory" in previous:
+                snapshot = dict(snapshot, memory=previous["memory"])
+                print("kept the existing memory baseline (probe skipped)")
         args.baseline.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
         print(f"wrote {args.baseline}")
         return 0
@@ -250,14 +441,24 @@ def main(argv=None) -> int:
         args.max_regression,
         min_gate_mean_s=args.min_gate_mean_us * 1e-6,
     )
-    if regressions:
+    memory_regressions = compare_memory_to_baseline(
+        snapshot, baseline, args.max_regression
+    )
+    if regressions or memory_regressions:
         threshold = f"{args.max_regression:.0%}"
-        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond {threshold}:")
+        total = len(regressions) + len(memory_regressions)
+        print(f"\nFAIL: {total} benchmark(s) regressed beyond {threshold}:")
         for entry in regressions:
             baseline_us = entry["baseline_mean_s"] * 1e6
             current_us = entry["current_mean_s"] * 1e6
             times = f"{baseline_us:.1f}us -> {current_us:.1f}us"
             print(f"  {entry['name']}: {times} ({entry['slowdown']:.2f}x)")
+        for entry in memory_regressions:
+            sizes = (
+                f"{entry['baseline_kib'] / 1024.0:.1f}MiB -> "
+                f"{entry['current_kib'] / 1024.0:.1f}MiB {entry['metric']}"
+            )
+            print(f"  {entry['name']}: {sizes} ({entry['growth']:.2f}x)")
         return 1
     print(f"\nOK: no benchmark regressed beyond {args.max_regression:.0%}")
     return 0

@@ -28,6 +28,7 @@ fig10                Figure 10 — temperature effect on tPRE reduction
 fig11                Figure 11 — minimum safe tPRE per condition
 fig14                Figure 14 — SSD response time of PR2/AR2/PnAR2/NoRR
 fig15                Figure 15 — PSO and PSO+PnAR2 comparison
+tail_latency         Tail latency — per-policy p99/p999 across Table 2
 ablation_rpt         Ablation — adaptive RPT vs flat 40% tPRE reduction
 ablation_scheduling  Ablation — scheduler features of the baseline SSD
 ablation_extensions  Ablation — Section 8 extensions and Sentinel

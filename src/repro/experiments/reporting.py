@@ -17,8 +17,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 #: Version of the serialized result layout.  Part of every cache key, so
-#: bumping it invalidates all stored artifacts at once.
-SCHEMA_VERSION = 1
+#: bumping it invalidates all stored artifacts at once.  Version 2: sweep
+#: rows and metric summaries carry tail-latency columns (p99/p999), and
+#: percentiles are histogram estimates rather than exact order statistics.
+SCHEMA_VERSION = 2
 
 
 def jsonify(value):

@@ -8,18 +8,20 @@
 ...           .run())
 >>> result.mean_response_us("PnAR2")  # doctest: +SKIP
 
-A :class:`Simulation` collects *what* to run (policies, a workload spec or
-an explicit request stream, an operating condition) and ``run()`` executes
-each policy against an identical copy of the stream on a freshly
-preconditioned SSD, returning a :class:`RunResult` that carries the
+A :class:`Simulation` collects *what* to run (policies, a workload spec, an
+explicit request list or a stream factory, an operating condition) and
+``run()`` executes each policy against an identical request stream on a
+freshly preconditioned SSD, returning a :class:`RunResult` that carries the
 per-policy :class:`~repro.ssd.controller.SimulationResult` objects plus a
-JSON-able manifest describing the run exactly.
+JSON-able manifest describing the run exactly.  Workload specs and stream
+factories feed the simulator's bounded-lookahead pump lazily, so session
+runs never materialize the trace.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.rpt import ReadTimingParameterTable
 from repro.sim.registry import default_registry
@@ -92,8 +94,10 @@ class Simulation:
         self._policies: List[str] = []
         self._workload: Optional[WorkloadSpec] = None
         self._requests: Optional[List[HostRequest]] = None
+        self._stream: Optional[Callable[[], Iterable[HostRequest]]] = None
         self._condition = Condition()
         self._rpt: Optional[ReadTimingParameterTable] = None
+        self._lookahead: Optional[int] = None
         self._registry = default_registry()
 
     # -- builder steps --------------------------------------------------------
@@ -126,6 +130,7 @@ class Simulation:
             mean_interarrival_us=mean_interarrival_us,
             footprint_fraction=footprint_fraction)
         self._requests = None
+        self._stream = None
         return self
 
     def synthetic(self, shape: Optional[WorkloadShape] = None,
@@ -140,8 +145,31 @@ class Simulation:
                                           seed=seed))
 
     def requests(self, requests: Sequence[HostRequest]) -> "Simulation":
-        """Use an explicit, pre-generated request stream (e.g. a real trace)."""
+        """Use an explicit, pre-generated request stream (e.g. a real trace).
+
+        The simulator does not mutate host requests, so the caller's objects
+        are replayed as-is for every policy — no defensive copies.
+        """
         self._requests = list(requests)
+        self._workload = None
+        self._stream = None
+        return self
+
+    def stream(self, factory: Callable[[], Iterable[HostRequest]]
+               ) -> "Simulation":
+        """Use a zero-argument factory yielding a fresh request stream.
+
+        The fully streaming option for large traces: the factory is called
+        once per policy and its iterable is fed straight into the
+        simulator's bounded-lookahead pump, so the trace is never
+        materialized (e.g. ``lambda: iter_records_to_requests(
+        iter_msrc_csv(path), ...)``).
+        """
+        if not callable(factory):
+            raise TypeError("stream() expects a zero-argument callable "
+                            "returning an iterable of HostRequest")
+        self._stream = factory
+        self._requests = None
         self._workload = None
         return self
 
@@ -159,6 +187,18 @@ class Simulation:
         self._rpt = rpt
         return self
 
+    def lookahead(self, requests: int) -> "Simulation":
+        """Size the admission pump's lookahead window (default 64 requests).
+
+        Streamed requests may arrive out of order by up to the window;
+        raise it when replaying real traces with local timestamp
+        misordering (e.g. interleaved multi-disk captures).
+        """
+        if requests < 1:
+            raise ValueError("lookahead must be at least 1")
+        self._lookahead = requests
+        return self
+
     # -- execution ------------------------------------------------------------
     def manifest(self) -> dict:
         """JSON-able description of the run (config, workload, condition)."""
@@ -173,20 +213,27 @@ class Simulation:
             manifest["workload"] = self._workload.to_dict()
         elif self._requests is not None:
             manifest["workload"] = {"explicit_requests": len(self._requests)}
+        elif self._stream is not None:
+            manifest["workload"] = {
+                "stream": getattr(self._stream, "__name__", "<stream>")}
         return manifest
 
-    def _fresh_requests(self) -> List[HostRequest]:
+    def _policy_stream(self) -> Iterable[HostRequest]:
+        """A fresh request stream for one policy's run.
+
+        Workload specs stream straight from their generator and stream
+        factories from their callable; explicit request lists are replayed
+        as-is (the simulator does not mutate them), so no copies are made
+        on any path.
+        """
         if self._workload is not None:
-            return self._workload.build_requests(self._config)
+            return self._workload.iter_requests(self._config)
         if self._requests is not None:
-            # Simulations mutate their requests; hand out pristine copies.
-            return [HostRequest(arrival_us=request.arrival_us,
-                                kind=request.kind,
-                                start_lpn=request.start_lpn,
-                                page_count=request.page_count)
-                    for request in self._requests]
+            return self._requests
+        if self._stream is not None:
+            return self._stream()
         raise ValueError("no workload configured; call .workload(), "
-                         ".synthetic() or .requests() first")
+                         ".synthetic(), .requests() or .stream() first")
 
     def run(self) -> RunResult:
         """Execute every configured policy and collect the results."""
@@ -194,6 +241,7 @@ class Simulation:
             raise ValueError("no policy configured; call .policy(name) first")
         shared_rpt = self._rpt or ReadTimingParameterTable.default()
         results: Dict[str, SimulationResult] = {}
+        previous_stream = None
         for entry in self._policies:
             if isinstance(entry, str):
                 policy = self._registry.create(
@@ -205,8 +253,35 @@ class Simulation:
             simulator.precondition(
                 pe_cycles=self._condition.pe_cycles,
                 retention_months=self._condition.retention_months)
-            result = simulator.run(self._fresh_requests())
+            stream = self._policy_stream()
+            if (self._stream is not None and stream is previous_stream
+                    and hasattr(stream, "__next__")):
+                # The factory handed back the very same iterator: the first
+                # policy consumed it, so every later policy would silently
+                # simulate zero requests and win every comparison.
+                raise ValueError(
+                    "stream() factory returned the same exhausted iterator "
+                    "for a second policy; it must build a fresh iterable "
+                    "per call")
+            previous_stream = stream
+            if self._lookahead is not None:
+                result = simulator.run(stream, lookahead=self._lookahead)
+            else:
+                result = simulator.run(stream)
             results[result.policy_name] = result
+        if self._stream is not None and len(results) > 1:
+            # Every policy replays the same stream, so the completed-request
+            # counts must agree; a mismatch means the factory shared one
+            # underlying iterator (however re-wrapped) and later policies
+            # saw a drained stream.
+            counts = {name: result.metrics.host_reads
+                      + result.metrics.host_writes
+                      for name, result in results.items()}
+            if len(set(counts.values())) > 1:
+                raise ValueError(
+                    "stream() factory fed different request counts to the "
+                    f"policies ({counts}); it must build an independent "
+                    "iterable per call, not re-wrap one shared iterator")
         return RunResult(config=self._config, condition=self._condition,
                          results=results, workload=self._workload,
                          manifest=self.manifest())

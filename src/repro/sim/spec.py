@@ -13,12 +13,12 @@ Both round-trip through plain dicts so a run manifest is one
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 from zlib import crc32
 
 from repro.ssd.config import SsdConfig
 from repro.ssd.request import HostRequest
-from repro.workloads.catalog import WORKLOAD_CATALOG, generate_workload
+from repro.workloads.catalog import WORKLOAD_CATALOG, iter_workload
 from repro.workloads.synthetic import SyntheticWorkload, WorkloadShape
 
 #: Case-insensitive view of the Table 2 catalog ("ycsb-a" -> "YCSB-A").
@@ -87,10 +87,18 @@ class WorkloadSpec:
                 self.mean_interarrival_us, self.footprint_pages(config))
 
     def build_requests(self, config: SsdConfig) -> List[HostRequest]:
-        """Generate a fresh request stream for this spec."""
+        """Generate a fresh request stream for this spec (materialized)."""
+        return list(self.iter_requests(config))
+
+    def iter_requests(self, config: SsdConfig) -> Iterator[HostRequest]:
+        """Stream the spec's requests lazily (identical draws to build).
+
+        The canonical way to feed a spec into the simulator: the generator
+        holds O(1) state, so the trace length never bounds memory.
+        """
         footprint = self.footprint_pages(config)
         if self.name is not None:
-            return generate_workload(
+            return iter_workload(
                 self.name, self.num_requests, footprint, seed=self.seed,
                 mean_interarrival_us=self.mean_interarrival_us)
         shape = self.shape
@@ -99,7 +107,8 @@ class WorkloadSpec:
                                      "mean_interarrival_us":
                                          self.mean_interarrival_us})
         return SyntheticWorkload(shape, footprint,
-                                 seed=self.seed).generate(self.num_requests)
+                                 seed=self.seed).iter_requests(
+                                     self.num_requests)
 
     # -- manifest round-trip --------------------------------------------------
     def to_dict(self) -> dict:

@@ -21,7 +21,9 @@ must be registered at import time of a module the workers import.
 Request streams depend only on (workload spec, seed, footprint), not on the
 operating condition, so each process keeps a small per-stream cache instead
 of regenerating the stream for every condition cell the way the seed's
-``run_workload_grid`` did.
+``run_workload_grid`` did.  Since the simulator stopped mutating host
+requests, the cache holds the :class:`HostRequest` objects themselves and
+every (condition, policy) cell replays them directly.
 
 Retry-step grids are likewise built once, not per worker: the parent
 vectorizes the slabs of every condition in the sweep and serializes them
@@ -44,7 +46,7 @@ from repro.ssd.config import SsdConfig
 from repro.ssd.controller import SimulationResult, SsdSimulator
 from repro.ssd.retry_grid import shared_grid
 from repro.ssd.metrics import normalized_response_times
-from repro.ssd.request import HostRequest, RequestKind
+from repro.ssd.request import HostRequest
 from repro.workloads.catalog import WORKLOAD_CATALOG
 
 #: Default mean inter-arrival time of generated streams; matches the seed's
@@ -53,10 +55,11 @@ from repro.workloads.catalog import WORKLOAD_CATALOG
 DEFAULT_MEAN_INTERARRIVAL_US = 700.0
 
 # -- per-process state ---------------------------------------------------------
-#: Raw (arrival, kind, start_lpn, page_count) tuples per stream key.  Streams
-#: are condition-independent, so one generation serves every condition cell a
-#: process executes (satellite: the seed regenerated per cell).
-_STREAM_CACHE: Dict[tuple, List[tuple]] = {}
+#: Generated HostRequest lists per stream key.  Streams are
+#: condition-independent and the simulator no longer mutates host requests,
+#: so one generation serves every (condition, policy) cell a process
+#: executes — the requests themselves are shared, not copied.
+_STREAM_CACHE: Dict[tuple, List[HostRequest]] = {}
 _STREAM_CACHE_STATS = {"hits": 0, "misses": 0}
 
 #: Lazily built default RPT, shared by every cell a process executes.
@@ -108,25 +111,16 @@ def pool_map(func, payloads: Sequence, processes: int,
         return results
 
 
-def _cached_stream(spec: WorkloadSpec, config: SsdConfig) -> List[tuple]:
+def _cached_stream(spec: WorkloadSpec, config: SsdConfig) -> List[HostRequest]:
     key = spec.stream_key(config)
-    raw = _STREAM_CACHE.get(key)
-    if raw is None:
+    requests = _STREAM_CACHE.get(key)
+    if requests is None:
         _STREAM_CACHE_STATS["misses"] += 1
-        raw = [(request.arrival_us, request.kind.value, request.start_lpn,
-                request.page_count)
-               for request in spec.build_requests(config)]
-        _STREAM_CACHE[key] = raw
+        requests = spec.build_requests(config)
+        _STREAM_CACHE[key] = requests
     else:
         _STREAM_CACHE_STATS["hits"] += 1
-    return raw
-
-
-def _materialize(raw: List[tuple]) -> List[HostRequest]:
-    """Fresh mutable HostRequests from cached raw tuples (runs mutate them)."""
-    return [HostRequest(arrival_us=arrival, kind=RequestKind(kind),
-                        start_lpn=start_lpn, page_count=page_count)
-            for arrival, kind, start_lpn, page_count in raw]
+    return requests
 
 
 def _run_cell(payload: dict) -> Tuple[str, Tuple[int, float],
@@ -147,14 +141,14 @@ def _run_cell(payload: dict) -> Tuple[str, Tuple[int, float],
         # worker usually inherited them already; install_slabs then no-ops).
         shared_grid(config, rpt).install_slabs(slabs)
     registry = default_registry()
-    raw = _cached_stream(spec, config)
+    stream = _cached_stream(spec, config)
     results: Dict[str, SimulationResult] = {}
     for name in payload["policies"]:
         policy = registry.create(name, timing=config.timing, rpt=rpt)
         simulator = SsdSimulator(config=config, policy=policy, rpt=rpt)
         simulator.precondition(pe_cycles=condition.pe_cycles,
                                retention_months=condition.retention_months)
-        result = simulator.run(_materialize(raw))
+        result = simulator.run(stream)
         results[result.policy_name] = result
     return spec.label, condition.as_tuple(), results
 
@@ -180,6 +174,8 @@ def rows_from_cells(workloads: Sequence[WorkloadSpec],
                 {name: result.metrics for name, result in cell.items()},
                 baseline=baseline)
             for policy, value in normalized.items():
+                metrics = cell[policy].metrics
+                combined = metrics.latency("all")
                 rows.append({
                     "workload": spec.label,
                     "class": _workload_class(spec),
@@ -188,7 +184,9 @@ def rows_from_cells(workloads: Sequence[WorkloadSpec],
                     "policy": policy,
                     "normalized_response_time": round(value, 4),
                     "mean_response_us": round(
-                        cell[policy].metrics.mean_response_time_us(), 2),
+                        metrics.mean_response_time_us(), 2),
+                    "p99_response_us": round(combined.p99(), 2),
+                    "p999_response_us": round(combined.p999(), 2),
                 })
     return rows
 

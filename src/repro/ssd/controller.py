@@ -16,6 +16,19 @@ paper's evaluation:
 * response times and utilization are collected in
   :class:`repro.ssd.metrics.SimulationMetrics`.
 
+Request injection is *streaming*: :meth:`SsdSimulator.run` accepts any
+iterable of :class:`~repro.ssd.request.HostRequest` objects — including
+generators — and admits them through a bounded-lookahead pump that keeps
+only a small window of future arrivals in the event queue.  Combined with
+the fixed-memory metrics recorder, the simulator's peak memory is
+independent of the trace length, so million-request traces stream straight
+from a workload generator or a CSV reader without ever being materialized.
+
+The simulator does not mutate caller-owned requests: read completion state
+(pending page count, last-page-ready time) lives in simulator-local
+bookkeeping, so the same request objects can be replayed against several
+policies without a defensive copy.
+
 A deliberate simplification relative to a cycle-accurate model: channel-bus
 contention between dies of the same channel is not modelled as a separate
 resource — per-step data transfer time is already part of each transaction's
@@ -28,7 +41,7 @@ documents this substitution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Union
+from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence, Union
 
 from repro.core.policies import ReadRetryPolicy, get_policy
 from repro.core.rpt import ReadTimingParameterTable
@@ -47,6 +60,11 @@ from repro.ssd.request import (
 )
 from repro.ssd.scheduler import DieScheduler
 from repro.ssd.write_buffer import WriteBuffer
+
+#: How many future arrivals the admission pump keeps scheduled ahead of the
+#: simulation clock.  Large enough that the dies never starve waiting for
+#: the pump, small enough that the event queue stays O(window), not O(trace).
+DEFAULT_LOOKAHEAD_REQUESTS = 64
 
 
 @dataclass
@@ -67,10 +85,28 @@ class SimulationResult:
     def mean_read_response_time_us(self) -> float:
         return self.metrics.mean_response_time_us("read")
 
+    @property
+    def p99_response_time_us(self) -> float:
+        return self.metrics.p99_response_time_us()
+
+    @property
+    def p999_response_time_us(self) -> float:
+        return self.metrics.p999_response_time_us()
+
     def summary(self) -> Dict[str, float]:
         summary = {"policy": self.policy_name}
         summary.update(self.metrics.summary())
         return summary
+
+
+class _ReadProgress:
+    """Simulator-local completion state of one in-flight host read."""
+
+    __slots__ = ("pending_pages", "last_page_ready_us")
+
+    def __init__(self, pending_pages: int):
+        self.pending_pages = pending_pages
+        self.last_page_ready_us: Optional[float] = None
 
 
 class SsdSimulator:
@@ -78,7 +114,8 @@ class SsdSimulator:
 
     def __init__(self, config: SsdConfig = None,
                  policy: Union[str, ReadRetryPolicy] = "Baseline",
-                 rpt: ReadTimingParameterTable = None):
+                 rpt: ReadTimingParameterTable = None,
+                 record_samples: bool = False):
         self.config = config or SsdConfig.scaled()
         if isinstance(policy, str):
             self.policy = get_policy(policy, timing=self.config.timing, rpt=rpt)
@@ -92,7 +129,7 @@ class SsdSimulator:
         self.gc = GarbageCollector(self.ftl)
         self.write_buffer = WriteBuffer(self.config.write_buffer_pages)
         self.backend = FlashBackend(self.config, rpt=shared_rpt)
-        self.metrics = SimulationMetrics()
+        self.metrics = SimulationMetrics(record_samples=record_samples)
         self.schedulers: Dict[tuple, DieScheduler] = {}
         for channel in range(self.config.channels):
             for die in range(self.config.dies_per_channel):
@@ -104,6 +141,14 @@ class SsdSimulator:
         self._cold_retention_months = 0.0
         self._preconditioned_pe_cycles = 0
         self._outstanding_requests = 0
+        # Streaming admission state (valid only during run()).
+        self._source: Optional[Iterator[HostRequest]] = None
+        self._source_exhausted = True
+        self._scheduled_arrivals = 0
+        self._lookahead = DEFAULT_LOOKAHEAD_REQUESTS
+        # Completion bookkeeping for in-flight reads, keyed by request_id —
+        # the simulator never writes to caller-owned HostRequest objects.
+        self._read_progress: Dict[int, _ReadProgress] = {}
         # Reads only ever see a handful of distinct (P/E, retention)
         # conditions; interning the OperatingCondition objects keeps the
         # per-read path free of dataclass construction and validation.
@@ -136,15 +181,43 @@ class SsdSimulator:
         self.backend.prefill_conditions([(pe_cycles, retention_months)])
 
     # -- running ----------------------------------------------------------------------
-    def run(self, requests: Iterable[HostRequest]) -> SimulationResult:
-        """Simulate a sequence of host requests and return the result."""
-        request_list = sorted(requests, key=lambda request: request.arrival_us)
-        for request in request_list:
-            self._outstanding_requests += 1
-            self.events.schedule(
-                request.arrival_us,
-                lambda req=request: self._on_request_arrival(req))
-        self.events.run()
+    def run(self, requests: Iterable[HostRequest],
+            lookahead: int = DEFAULT_LOOKAHEAD_REQUESTS) -> SimulationResult:
+        """Simulate a stream of host requests and return the result.
+
+        ``requests`` may be any iterable, including a generator: arrivals
+        are injected through a bounded-lookahead admission pump that keeps
+        at most ``lookahead`` future arrivals scheduled, so the event
+        queue's size — and therefore the run's memory — is independent of
+        the stream length.  Streams must be ordered by arrival time up to
+        the lookahead window (workload generators and trace readers emit
+        monotone arrivals); pre-materialized sequences are sorted up front,
+        preserving the historical contract for explicit request lists.
+        """
+        if lookahead < 1:
+            raise ValueError("lookahead must be at least 1")
+        if isinstance(requests, Sequence):
+            source: Iterator[HostRequest] = iter(
+                sorted(requests, key=lambda request: request.arrival_us))
+        else:
+            source = iter(requests)
+        self._source = source
+        self._source_exhausted = False
+        self._scheduled_arrivals = 0
+        self._lookahead = lookahead
+        try:
+            self._pump()
+            self.events.run()
+        finally:
+            # Release generator-backed sources deterministically even when
+            # the run aborts mid-stream (e.g. an out-of-order trace): a
+            # suspended `iter_msrc_csv` generator holds an open file handle
+            # until close() runs its with-block exit.
+            closer = getattr(self._source, "close", None)
+            self._source = None
+            self._source_exhausted = True
+            if closer is not None:
+                closer()
         self.metrics.simulated_time_us = self.events.now_us
         for key, scheduler in self.schedulers.items():
             self.metrics.record_die_busy(key, scheduler.total_busy_us)
@@ -157,15 +230,43 @@ class SsdSimulator:
             preconditioned_pe_cycles=self._preconditioned_pe_cycles,
             preconditioned_retention_months=self._cold_retention_months)
 
+    def _pump(self) -> None:
+        """Admit arrivals from the source until the lookahead window is full."""
+        while (not self._source_exhausted
+               and self._scheduled_arrivals < self._lookahead):
+            try:
+                # Explicit StopIteration handling: a stray None element in a
+                # buggy stream must error out below, not end the run early.
+                request = next(self._source)
+            except StopIteration:
+                self._source_exhausted = True
+                return
+            if request.arrival_us < self.events.now_us:
+                raise ValueError(
+                    f"request {request.request_id} arrives at "
+                    f"{request.arrival_us} us, before the admission pump's "
+                    f"clock ({self.events.now_us} us); streamed requests "
+                    "must be ordered by arrival time up to the lookahead "
+                    f"window (currently {self._lookahead} requests) — sort "
+                    "the stream or raise run(..., lookahead=N)")
+            self._outstanding_requests += 1
+            self._scheduled_arrivals += 1
+            self.events.schedule(
+                request.arrival_us,
+                lambda req=request: self._on_request_arrival(req))
+
     # -- host-request handling ------------------------------------------------------------
     def _on_request_arrival(self, request: HostRequest) -> None:
+        self._scheduled_arrivals -= 1
+        self._pump()
         if request.kind is RequestKind.READ:
             self._start_read_request(request)
         else:
             self._admit_or_defer_write(request)
 
     def _start_read_request(self, request: HostRequest) -> None:
-        request.pending_pages = request.page_count
+        self._read_progress[request.request_id] = _ReadProgress(
+            request.page_count)
         for lpn in request.lpns:
             physical = self._physical_for_read(lpn)
             transaction = FlashTransaction(
@@ -196,7 +297,6 @@ class SsdSimulator:
 
     def _complete_write_admission(self, request: HostRequest) -> None:
         now = self.events.now_us
-        request.completion_us = now
         self.metrics.record_write(now - request.arrival_us)
         self._outstanding_requests -= 1
         for lpn in request.lpns:
@@ -276,16 +376,18 @@ class SsdSimulator:
         response_us = getattr(transaction, "response_us",
                               transaction.completion_us - transaction.service_start_us)
         page_ready_us = transaction.service_start_us + response_us
-        self.metrics.retry_steps_per_read.append(transaction.retry_steps)
+        self.metrics.record_retry_steps(transaction.retry_steps)
         if request is None:
             return
-        if request.completion_us is None or page_ready_us > request.completion_us:
-            request.completion_us = page_ready_us
-        request.pending_pages -= 1
-        if request.pending_pages == 0:
-            self.metrics.read_response_times_us.append(
-                request.completion_us - request.arrival_us)
-            self.metrics.host_reads += 1
+        progress = self._read_progress[request.request_id]
+        if (progress.last_page_ready_us is None
+                or page_ready_us > progress.last_page_ready_us):
+            progress.last_page_ready_us = page_ready_us
+        progress.pending_pages -= 1
+        if progress.pending_pages == 0:
+            del self._read_progress[request.request_id]
+            self.metrics.record_read(
+                progress.last_page_ready_us - request.arrival_us)
             self._outstanding_requests -= 1
 
     def _complete_host_program_page(self, transaction: FlashTransaction) -> None:
@@ -329,8 +431,29 @@ class SsdSimulator:
         self.schedulers[physical.die_key()].enqueue(transaction)
 
 
+RequestSource = Union[Iterable[HostRequest],
+                      Callable[[], Iterable[HostRequest]]]
+
+
+def _policy_streams(requests: RequestSource) -> Callable[[], Iterable[HostRequest]]:
+    """Normalize a request source into a per-policy stream factory.
+
+    Sequences are replayed directly — the simulator no longer mutates
+    caller-owned requests, so the same objects can serve every policy.
+    A bare iterator/generator can only be consumed once, so it is drained
+    into a list first; pass a zero-argument factory instead to keep a
+    multi-policy comparison fully streaming.
+    """
+    if callable(requests):
+        return requests
+    if isinstance(requests, Sequence):
+        return lambda: requests
+    materialized = list(requests)
+    return lambda: materialized
+
+
 def simulate_policies(policies: Iterable[Union[str, ReadRetryPolicy]],
-                      requests_factory,
+                      requests: RequestSource,
                       config: SsdConfig = None,
                       pe_cycles: int = 0,
                       retention_months: float = 0.0,
@@ -338,16 +461,19 @@ def simulate_policies(policies: Iterable[Union[str, ReadRetryPolicy]],
                       ) -> Dict[str, SimulationResult]:
     """Run the same workload against several policies.
 
-    :param requests_factory: callable returning a fresh list of
-        :class:`HostRequest` objects (each simulation mutates its requests,
-        so they cannot be shared between runs).
+    :param requests: the request stream — a sequence of
+        :class:`HostRequest` objects (replayed as-is for every policy; the
+        simulator does not mutate them), a zero-argument factory returning a
+        fresh iterable per policy (the fully streaming option for large
+        traces), or a one-shot iterator (materialized once, then replayed).
     """
     results: Dict[str, SimulationResult] = {}
+    stream_factory = _policy_streams(requests)
     shared_rpt = rpt or ReadTimingParameterTable.default()
     for policy in policies:
         simulator = SsdSimulator(config=config, policy=policy, rpt=shared_rpt)
         simulator.precondition(pe_cycles=pe_cycles,
                                retention_months=retention_months)
-        result = simulator.run(requests_factory())
+        result = simulator.run(stream_factory())
         results[result.policy_name] = result
     return results

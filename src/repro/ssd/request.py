@@ -6,6 +6,13 @@ arrival time.  The controller splits it into per-page *flash transactions*
 that are scheduled independently on the dies; the request completes when its
 last transaction completes (reads) or when its data is accepted by the write
 buffer (writes).
+
+Host requests are treated as *immutable inputs* by the simulator: per-run
+completion state lives in simulator-local bookkeeping, so the same request
+objects can be replayed against several policies (or shared by a sweep's
+stream cache) without defensive copies.  The ``completion_us`` /
+``pending_pages`` fields remain for callers that track completion
+themselves, but the simulator no longer writes to them.
 """
 
 from __future__ import annotations
@@ -53,7 +60,8 @@ class HostRequest:
     queue_id: int = 0
     request_id: int = field(default_factory=lambda: next(_request_ids))
 
-    # Filled in by the simulator.
+    # Caller-owned completion tracking; the simulator keeps its own
+    # per-run bookkeeping and never writes to these.
     completion_us: Optional[float] = None
     pending_pages: int = field(init=False, default=0)
 

@@ -18,19 +18,29 @@ subpackage provides:
   their parameters.
 """
 
-from repro.workloads.trace import TraceRecord, read_msrc_csv, records_to_requests, write_msrc_csv
+from repro.workloads.trace import (
+    TraceRecord,
+    iter_msrc_csv,
+    iter_records_to_requests,
+    read_msrc_csv,
+    records_to_requests,
+    write_msrc_csv,
+)
 from repro.workloads.synthetic import SyntheticWorkload, WorkloadShape
 from repro.workloads.catalog import (
     WORKLOAD_CATALOG,
     WorkloadSpec,
     generate_workload,
+    iter_workload,
     workload_names,
 )
 
 __all__ = [
     "TraceRecord",
+    "iter_msrc_csv",
     "read_msrc_csv",
     "write_msrc_csv",
+    "iter_records_to_requests",
     "records_to_requests",
     "SyntheticWorkload",
     "WorkloadShape",
@@ -38,4 +48,5 @@ __all__ = [
     "WORKLOAD_CATALOG",
     "workload_names",
     "generate_workload",
+    "iter_workload",
 ]

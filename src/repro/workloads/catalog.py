@@ -8,10 +8,11 @@ equivalent request stream.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.ssd.request import HostRequest
 from repro.workloads.msrc import make_msrc_workload
+from repro.workloads.synthetic import SyntheticWorkload
 from repro.workloads.ycsb import make_ycsb_workload
 
 
@@ -38,19 +39,20 @@ class WorkloadSpec:
         return self.read_ratio >= 0.75
 
     def build(self, footprint_pages: int, seed: int = 0,
-              mean_interarrival_us: float = None):
+              mean_interarrival_us: float = None) -> SyntheticWorkload:
         """Instantiate the synthetic generator for this workload."""
-        if self.suite == "MSRC":
-            kwargs = {}
-            if mean_interarrival_us is not None:
-                kwargs["mean_interarrival_us"] = mean_interarrival_us
-            return make_msrc_workload(self.read_ratio, self.cold_ratio,
-                                      footprint_pages, seed=seed, **kwargs)
-        kwargs = {"scan_heavy": self.scan_heavy}
+        # Omitting the kwarg (rather than passing None) lets each suite
+        # preset keep its own default arrival rate.
+        kwargs = {}
         if mean_interarrival_us is not None:
             kwargs["mean_interarrival_us"] = mean_interarrival_us
-        return make_ycsb_workload(self.read_ratio, self.cold_ratio,
-                                  footprint_pages, seed=seed, **kwargs)
+        if self.suite == "MSRC":
+            factory = make_msrc_workload
+        else:
+            factory = make_ycsb_workload
+            kwargs["scan_heavy"] = self.scan_heavy
+        return factory(self.read_ratio, self.cold_ratio, footprint_pages,
+                       seed=seed, **kwargs)
 
 
 #: Table 2, in the order the paper lists the workloads.
@@ -81,17 +83,31 @@ def workload_names() -> List[str]:
     return list(WORKLOAD_CATALOG)
 
 
+def _catalog_workload(name: str, footprint_pages: int, seed: int,
+                      mean_interarrival_us: float) -> SyntheticWorkload:
+    if name not in WORKLOAD_CATALOG:
+        raise KeyError(f"unknown workload {name!r}; "
+                       f"available: {workload_names()}")
+    return WORKLOAD_CATALOG[name].build(
+        footprint_pages, seed=seed,
+        mean_interarrival_us=mean_interarrival_us)
+
+
 def generate_workload(name: str, num_requests: int, footprint_pages: int,
                       seed: int = 0,
                       mean_interarrival_us: float = None) -> List[HostRequest]:
     """Generate a request stream for a named Table 2 workload."""
-    if name not in WORKLOAD_CATALOG:
-        raise KeyError(f"unknown workload {name!r}; "
-                       f"available: {workload_names()}")
-    spec = WORKLOAD_CATALOG[name]
-    workload = spec.build(footprint_pages, seed=seed,
-                          mean_interarrival_us=mean_interarrival_us)
-    return workload.generate(num_requests)
+    return list(iter_workload(name, num_requests, footprint_pages, seed=seed,
+                              mean_interarrival_us=mean_interarrival_us))
+
+
+def iter_workload(name: str, num_requests: int, footprint_pages: int,
+                  seed: int = 0,
+                  mean_interarrival_us: float = None) -> Iterator[HostRequest]:
+    """Stream a named Table 2 workload lazily (same draws as generate)."""
+    workload = _catalog_workload(name, footprint_pages, seed,
+                                 mean_interarrival_us)
+    return workload.iter_requests(num_requests)
 
 
 def table2_rows() -> List[dict]:

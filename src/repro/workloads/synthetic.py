@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -81,21 +81,44 @@ class SyntheticWorkload:
     def generate(self, num_requests: int,
                  start_time_us: float = 0.0) -> List[HostRequest]:
         """Generate a request stream (deterministic in the seed)."""
+        return list(self.iter_requests(num_requests,
+                                       start_time_us=start_time_us))
+
+    def iter_requests(self, num_requests: int,
+                      start_time_us: float = 0.0) -> Iterator[HostRequest]:
+        """Yield the stream lazily, one request at a time.
+
+        Draws the identical request sequence as :meth:`generate` (which is
+        just ``list(iter_requests(...))``) but holds O(1) state, so a
+        million-request trace can be streamed straight into
+        :meth:`repro.ssd.controller.SsdSimulator.run` without ever being
+        materialized.  Arrival times are nondecreasing by construction,
+        which is what the simulator's bounded-lookahead pump requires.
+        """
+        # Validate eagerly (this is not the generator itself) so a bad
+        # request count raises at the call site, not on first iteration
+        # deep inside the admission pump.
         if num_requests <= 0:
             raise ValueError("num_requests must be positive")
-        rng = np.random.default_rng(self.seed)
-        shape = self.shape
         # Non-cold reads must hit pages that the workload actually rewrites.
         # The "update set" is therefore sized to the volume of writes the
         # stream will contain, so that the measured cold ratio (reads whose
         # page is never updated) tracks the configured one even for
-        # read-dominant workloads with very few writes.
+        # read-dominant workloads with very few writes.  Computed here and
+        # threaded through as a local so interleaved iterators on the same
+        # workload object cannot corrupt each other's address selection.
+        shape = self.shape
         expected_write_pages = max(
             1.0, num_requests * (1.0 - shape.read_ratio)
             * shape.mean_request_pages)
-        self._update_pages = int(min(self._hot_pages,
-                                     max(8.0, expected_write_pages * 0.4)))
-        requests: List[HostRequest] = []
+        update_pages = int(min(self._hot_pages,
+                               max(8.0, expected_write_pages * 0.4)))
+        return self._iter_requests(num_requests, start_time_us, update_pages)
+
+    def _iter_requests(self, num_requests: int, start_time_us: float,
+                       update_pages: int) -> Iterator[HostRequest]:
+        rng = np.random.default_rng(self.seed)
+        shape = self.shape
         time_us = start_time_us
         previous_end_lpn: Optional[int] = None
         previous_was_read = True
@@ -113,21 +136,22 @@ class SyntheticWorkload:
             if sequential:
                 start_lpn = previous_end_lpn
             else:
-                start_lpn = self._pick_start(rng, is_read)
-            start_lpn, page_count = self._clamp(start_lpn, page_count, is_read)
+                start_lpn = self._pick_start(rng, is_read, update_pages)
+            start_lpn, page_count = self._clamp(start_lpn, page_count, is_read,
+                                                update_pages)
 
-            requests.append(HostRequest(
+            yield HostRequest(
                 arrival_us=time_us,
                 kind=RequestKind.READ if is_read else RequestKind.WRITE,
                 start_lpn=start_lpn,
                 page_count=page_count,
-            ))
+            )
             previous_end_lpn = start_lpn + page_count
             previous_was_read = is_read
-        return requests
 
     # -- address selection -----------------------------------------------------------------
-    def _pick_start(self, rng: np.random.Generator, is_read: bool) -> int:
+    def _pick_start(self, rng: np.random.Generator, is_read: bool,
+                    update_pages: int) -> int:
         shape = self.shape
         if is_read and rng.random() < shape.cold_ratio:
             # Cold region: pages written once (by preconditioning) and never
@@ -135,8 +159,7 @@ class SyntheticWorkload:
             return int(self._zipf_index(rng, self._cold_pages))
         # Hot reads and all writes target the update set, which is sized so
         # that its pages really are rewritten during the run.
-        region = getattr(self, "_update_pages", self._hot_pages)
-        return self._cold_pages + int(self._zipf_index(rng, region))
+        return self._cold_pages + int(self._zipf_index(rng, update_pages))
 
     def _zipf_index(self, rng: np.random.Generator, region_pages: int) -> int:
         """Inverse-CDF sample of a bounded Zipf(theta) popularity law.
@@ -159,15 +182,15 @@ class SyntheticWorkload:
         index = int(rank) - 1
         return max(0, min(region_pages - 1, index))
 
-    def _clamp(self, start_lpn: int, page_count: int, is_read: bool):
+    def _clamp(self, start_lpn: int, page_count: int, is_read: bool,
+               update_pages: int):
         if is_read:
             limit = self.footprint_pages
             start_lpn = max(0, min(start_lpn, limit - 1))
         else:
             # Writes must stay inside the update set so cold pages remain
             # cold (never updated), which is what defines the cold ratio.
-            limit = self._cold_pages + getattr(self, "_update_pages",
-                                               self._hot_pages)
+            limit = self._cold_pages + update_pages
             start_lpn = max(self._cold_pages, min(start_lpn, limit - 1))
         page_count = min(page_count, limit - start_lpn)
         return start_lpn, max(1, page_count)

@@ -13,8 +13,9 @@ page-granularity :class:`repro.ssd.request.HostRequest` objects.
 from __future__ import annotations
 
 import csv
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, TextIO, Union
+from typing import Iterable, Iterator, List, Optional, TextIO, Union
 
 from repro.ssd.request import HostRequest, RequestKind
 
@@ -46,19 +47,27 @@ class TraceRecord:
         return RequestKind.READ if self.is_read else RequestKind.WRITE
 
 
-def read_msrc_csv(source: Union[str, TextIO],
-                  max_records: Optional[int] = None) -> List[TraceRecord]:
-    """Parse an MSRC-format CSV trace into :class:`TraceRecord` objects."""
-    close = False
+def iter_msrc_csv(source: Union[str, TextIO],
+                  max_records: Optional[int] = None) -> Iterator[TraceRecord]:
+    """Stream an MSRC-format CSV trace as :class:`TraceRecord` objects.
+
+    Holds one record in memory at a time, so arbitrarily long traces can be
+    piped straight into :func:`iter_records_to_requests` and the streaming
+    simulator.  When ``source`` is a path the file is opened lazily on
+    first iteration and closed when the generator is exhausted (or closed).
+
+    Timestamps are rebased to the first row; rows ticked *before* it (head
+    of a multi-disk capture merged slightly out of order) clamp to 0 us
+    rather than producing negative arrivals no simulator accepts.
+    """
     if isinstance(source, str):
-        handle = open(source, "r", newline="")
-        close = True
+        context = open(source, "r", newline="")
     else:
-        handle = source
-    try:
-        records: List[TraceRecord] = []
+        context = nullcontext(source)
+    with context as handle:
         reader = csv.reader(handle)
         base_ticks: Optional[int] = None
+        yielded = 0
         for row in reader:
             if not row or row[0].startswith("#"):
                 continue
@@ -67,21 +76,28 @@ def read_msrc_csv(source: Union[str, TextIO],
             ticks = int(row[0])
             if base_ticks is None:
                 base_ticks = ticks
-            timestamp_us = (ticks - base_ticks) / TICKS_PER_MICROSECOND
-            records.append(TraceRecord(
+            timestamp_us = max(0.0,
+                               (ticks - base_ticks) / TICKS_PER_MICROSECOND)
+            yield TraceRecord(
                 timestamp_us=timestamp_us,
                 hostname=row[1],
                 disk_number=int(row[2]),
                 is_read=row[3].strip().lower() == "read",
                 offset_bytes=int(row[4]),
                 size_bytes=int(row[5]),
-            ))
-            if max_records is not None and len(records) >= max_records:
-                break
-        return records
-    finally:
-        if close:
-            handle.close()
+            )
+            yielded += 1
+            if max_records is not None and yielded >= max_records:
+                return
+
+
+def read_msrc_csv(source: Union[str, TextIO],
+                  max_records: Optional[int] = None) -> List[TraceRecord]:
+    """Parse an MSRC-format CSV trace into a list of :class:`TraceRecord`.
+
+    Materializing convenience wrapper around :func:`iter_msrc_csv`.
+    """
+    return list(iter_msrc_csv(source, max_records=max_records))
 
 
 def write_msrc_csv(records: Iterable[TraceRecord],
@@ -112,18 +128,19 @@ def write_msrc_csv(records: Iterable[TraceRecord],
             handle.close()
 
 
-def records_to_requests(records: Iterable[TraceRecord],
-                        page_size_bytes: int = 16 * 1024,
-                        logical_pages: Optional[int] = None) -> List[HostRequest]:
-    """Convert trace records into page-granularity host requests.
+def iter_records_to_requests(records: Iterable[TraceRecord],
+                             page_size_bytes: int = 16 * 1024,
+                             logical_pages: Optional[int] = None
+                             ) -> Iterator[HostRequest]:
+    """Lazily convert trace records into page-granularity host requests.
 
     Offsets and sizes are rounded to whole pages (a partial page still costs
     a full page read/program); when ``logical_pages`` is given, addresses are
-    wrapped into the simulated device's logical space.
+    wrapped into the simulated device's logical space.  Composes with
+    :func:`iter_msrc_csv` so a trace replay never materializes the trace.
     """
     if page_size_bytes <= 0:
         raise ValueError("page_size_bytes must be positive")
-    requests: List[HostRequest] = []
     for record in records:
         start_lpn = record.offset_bytes // page_size_bytes
         end_lpn = (record.offset_bytes + record.size_bytes - 1) // page_size_bytes
@@ -131,10 +148,18 @@ def records_to_requests(records: Iterable[TraceRecord],
         if logical_pages is not None:
             start_lpn %= logical_pages
             page_count = min(page_count, logical_pages)
-        requests.append(HostRequest(
+        yield HostRequest(
             arrival_us=record.timestamp_us,
             kind=record.kind,
             start_lpn=start_lpn,
             page_count=page_count,
-        ))
-    return requests
+        )
+
+
+def records_to_requests(records: Iterable[TraceRecord],
+                        page_size_bytes: int = 16 * 1024,
+                        logical_pages: Optional[int] = None) -> List[HostRequest]:
+    """Materializing wrapper around :func:`iter_records_to_requests`."""
+    return list(iter_records_to_requests(records,
+                                         page_size_bytes=page_size_bytes,
+                                         logical_pages=logical_pages))

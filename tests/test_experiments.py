@@ -5,7 +5,7 @@ import pytest
 from repro.experiments import EXPERIMENT_NAMES
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import run_experiment
-from repro.experiments import fig14, fig15, table1, table2
+from repro.experiments import fig14, fig15, table1, table2, tail_latency
 
 
 class TestReporting:
@@ -100,3 +100,37 @@ class TestSystemExperiments:
         by_policy = {row["policy"]: row["normalized_response_time"]
                      for row in result.rows}
         assert by_policy["PSO+PnAR2"] < by_policy["PSO"] < 1.0
+
+
+class TestTailLatencyExperiment:
+    """Smoke runs of the tail-latency harness."""
+
+    @pytest.fixture(scope="class")
+    def tail_result(self):
+        return tail_latency.run(workloads=("usr_1",),
+                                conditions=((1000, 6.0),), num_requests=120)
+
+    def test_rows_cover_all_policies_with_tail_columns(self, tail_result):
+        policies = {row["policy"] for row in tail_result.rows}
+        assert policies == {"Baseline", "PR2", "AR2", "PnAR2", "NoRR"}
+        for row in tail_result.rows:
+            assert row["p999_response_us"] >= row["p99_response_us"] \
+                >= row["p50_response_us"] >= 0.0
+
+    def test_pnar2_shortens_the_tail(self, tail_result):
+        by_policy = {row["policy"]: row for row in tail_result.rows}
+        assert by_policy["PnAR2"]["p99_response_us"] < \
+            by_policy["Baseline"]["p99_response_us"]
+        assert by_policy["PnAR2"]["p999_response_us"] < \
+            by_policy["Baseline"]["p999_response_us"]
+
+    def test_headline_reports_merged_tails(self, tail_result):
+        assert "PnAR2 p99 reduction vs Baseline" in tail_result.headline
+        assert "Baseline merged p99/p999 (us)" in tail_result.headline
+
+    def test_serial_equals_parallel(self, tail_result):
+        parallel = tail_latency.run(workloads=("usr_1",),
+                                    conditions=((1000, 6.0),),
+                                    num_requests=120, processes=2)
+        assert parallel.rows == tail_result.rows
+        assert parallel.headline == tail_result.headline

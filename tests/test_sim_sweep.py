@@ -73,8 +73,19 @@ class TestParallelEquality:
         for key, cell in serial_result.cells.items():
             for policy, result in cell.items():
                 other = parallel.cells[key][policy]
-                assert other.metrics.read_response_times_us == \
-                    result.metrics.read_response_times_us
+                # Histogram equality covers bucket counts, the exact count
+                # and the compensated sum — i.e. the full recorder state.
+                assert other.metrics.read_latency == \
+                    result.metrics.read_latency
+                assert other.metrics.summary() == result.metrics.summary()
+
+    def test_rows_carry_tail_latency_columns(self, serial_result):
+        for row in serial_result.rows:
+            assert row["p999_response_us"] >= row["p99_response_us"] >= 0.0
+        aged = serial_result.filter_rows(policy="Baseline", workload="usr_1",
+                                         pe_cycles=1000)
+        assert all(row["p99_response_us"] > row["mean_response_us"]
+                   for row in aged)
 
 
 class TestStreamCache:
@@ -96,8 +107,7 @@ class TestStreamCache:
                             num_requests=30)
         first = result.cell("usr_1", 0, 0.0)["NoRR"]
         second = result.cell("usr_1", 1000, 6.0)["NoRR"]
-        assert first.metrics.read_response_times_us != \
-            second.metrics.read_response_times_us
+        assert first.metrics.read_latency != second.metrics.read_latency
 
 
 class TestValidation:

@@ -62,7 +62,7 @@ class TestBasicOperation:
         simulator.precondition()
         result = simulator.run([read(0.0, 0, pages=4)])
         assert result.metrics.host_reads == 1
-        assert len(result.metrics.retry_steps_per_read) == 4
+        assert result.metrics.pages_read == 4
 
     def test_unmapped_read_is_treated_as_cold_data(self, config, default_rpt):
         simulator = SsdSimulator(config, policy="Baseline", rpt=default_rpt)

@@ -1,16 +1,25 @@
-"""Tests for the simulation metrics."""
+"""Tests for the fixed-memory simulation metrics."""
 
+import pickle
+
+import numpy as np
 import pytest
 
 from repro.ssd.metrics import (
+    LatencyHistogram,
+    SUBBUCKETS_PER_OCTAVE,
     SimulationMetrics,
     improvement_over,
     normalized_response_times,
 )
 
+#: One histogram bucket spans 1/SUBBUCKETS of an octave; estimates mirror
+#: numpy's interpolation at bucket resolution, so allow two bucket widths.
+BUCKET_TOLERANCE = 2.0 / SUBBUCKETS_PER_OCTAVE
 
-def make_metrics(read_times, write_times=()):
-    metrics = SimulationMetrics()
+
+def make_metrics(read_times, write_times=(), record_samples=False):
+    metrics = SimulationMetrics(record_samples=record_samples)
     for value in read_times:
         metrics.record_read(value, retry_steps=2)
     for value in write_times:
@@ -25,11 +34,14 @@ class TestRecording:
         assert metrics.mean_response_time_us("write") == pytest.approx(50.0)
         assert metrics.mean_response_time_us("all") == pytest.approx(162.5)
         assert metrics.max_response_time_us() == 300.0
-        assert metrics.percentile_response_time_us(50.0, "read") == 200.0
+        assert metrics.percentile_response_time_us(50.0, "read") == \
+            pytest.approx(200.0, rel=BUCKET_TOLERANCE)
 
     def test_retry_steps_tracking(self):
         metrics = make_metrics([10.0, 20.0])
         assert metrics.mean_retry_steps() == 2.0
+        assert metrics.pages_read == 2
+        assert metrics.retry_step_counts == {2: 2}
 
     def test_counts(self):
         metrics = make_metrics([1.0, 2.0], [3.0])
@@ -42,6 +54,7 @@ class TestRecording:
         assert metrics.percentile_response_time_us(99.0) == 0.0
         assert metrics.mean_retry_steps() == 0.0
         assert metrics.die_utilization() == 0.0
+        assert metrics.max_response_time_us() == 0.0
 
     def test_negative_values_rejected(self):
         metrics = SimulationMetrics()
@@ -49,6 +62,19 @@ class TestRecording:
             metrics.record_read(-1.0, 0)
         with pytest.raises(ValueError):
             metrics.record_write(-1.0)
+        with pytest.raises(ValueError):
+            metrics.record_retry_steps(-1)
+
+    def test_non_finite_values_rejected_without_corruption(self):
+        histogram = LatencyHistogram()
+        histogram.record(10.0)
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                histogram.record(bad)
+        # The rejected values must not have poisoned any state.
+        assert histogram.count == 1
+        assert histogram.mean() == 10.0
+        assert histogram.max_us == 10.0
 
     def test_invalid_kind_rejected(self):
         with pytest.raises(ValueError):
@@ -65,6 +91,182 @@ class TestRecording:
         summary = make_metrics([1.0]).summary()
         assert "mean_response_us" in summary
         assert "mean_retry_steps" in summary
+        assert "p99_response_us" in summary
+        assert "p999_response_us" in summary
+        assert "p99_read_response_us" in summary
+
+    def test_zero_latency_writes_supported(self):
+        # Buffered write hits complete in exactly 0.0 us; the floor bucket
+        # must absorb them without distorting mean or percentile.
+        metrics = make_metrics([], [0.0, 0.0, 0.0])
+        assert metrics.mean_response_time_us("write") == 0.0
+        assert metrics.percentile_response_time_us(99.0, "write") == 0.0
+
+
+class TestFixedMemoryContract:
+    def test_samples_unavailable_by_default(self):
+        metrics = make_metrics([1.0, 2.0], [3.0])
+        for name in ("read_response_times_us", "write_response_times_us",
+                     "retry_steps_per_read"):
+            with pytest.raises(RuntimeError, match="record_samples=True"):
+                getattr(metrics, name)
+
+    def test_record_samples_debug_mode(self):
+        metrics = make_metrics([1.0, 2.0], [3.0], record_samples=True)
+        assert metrics.read_response_times_us == [1.0, 2.0]
+        assert metrics.write_response_times_us == [3.0]
+        assert metrics.retry_steps_per_read == [2, 2]
+
+    def test_bucket_count_independent_of_sample_count(self):
+        rng = np.random.default_rng(0)
+        histogram = LatencyHistogram()
+        small_count = None
+        for total in (1_000, 100_000):
+            for value in rng.lognormal(mean=5.0, sigma=1.0, size=total):
+                histogram.record(float(value))
+            if small_count is None:
+                small_count = histogram.bucket_count
+        # 100x the samples widens the observed range by at most a couple of
+        # octaves of tail buckets — never by 100x.
+        assert histogram.bucket_count < small_count * 3
+        assert histogram.bucket_count < 1500  # hard structural bound: 3265
+        assert histogram.count == 101_000
+
+    def test_histogram_pickles(self):
+        histogram = LatencyHistogram()
+        for value in (1.0, 50.0, 5000.0):
+            histogram.record(value)
+        clone = pickle.loads(pickle.dumps(histogram))
+        assert clone == histogram
+        assert clone.mean() == histogram.mean()
+
+
+class TestHistogramAccuracy:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("draw", [
+        lambda rng, n: rng.lognormal(mean=6.0, sigma=1.5, size=n),
+        lambda rng, n: rng.exponential(scale=800.0, size=n),
+        lambda rng, n: rng.uniform(10.0, 10_000.0, size=n),
+    ])
+    def test_percentiles_within_bucket_tolerance(self, seed, draw):
+        rng = np.random.default_rng(seed)
+        samples = draw(rng, 20_000)
+        histogram = LatencyHistogram()
+        for value in samples:
+            histogram.record(float(value))
+        for percentile in (1.0, 25.0, 50.0, 90.0, 99.0, 99.9):
+            exact = float(np.percentile(samples, percentile))
+            estimate = histogram.percentile(percentile)
+            assert estimate == pytest.approx(exact, rel=BUCKET_TOLERANCE), \
+                f"p{percentile}: {estimate} vs exact {exact}"
+
+    def test_mean_matches_exact_mean(self, rng):
+        samples = rng.lognormal(mean=6.0, sigma=2.0, size=50_000)
+        histogram = LatencyHistogram()
+        for value in samples:
+            histogram.record(float(value))
+        assert histogram.mean() == pytest.approx(float(np.mean(samples)),
+                                                 rel=1e-12)
+        assert histogram.min_us == float(np.min(samples))
+        assert histogram.max_us == float(np.max(samples))
+
+    def test_extremes_clamped_not_lost(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.0)
+        histogram.record(1e15)  # far beyond the tracked cap
+        assert histogram.count == 2
+        assert histogram.max_us == 1e15
+        assert histogram.percentile(100.0) == 1e15
+
+    def test_single_value_percentiles_exact(self):
+        histogram = LatencyHistogram()
+        histogram.record(123.456)
+        for percentile in (0.0, 50.0, 100.0):
+            assert histogram.percentile(percentile) == 123.456
+
+    def test_invalid_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(101.0)
+
+
+class TestMerge:
+    @staticmethod
+    def _histogram(rng, n):
+        histogram = LatencyHistogram()
+        for value in rng.exponential(scale=500.0, size=n):
+            histogram.record(float(value))
+        return histogram
+
+    def test_merge_matches_combined_recording(self, rng):
+        samples = rng.exponential(scale=500.0, size=2000)
+        left, right, combined = (LatencyHistogram() for _ in range(3))
+        for value in samples[:900]:
+            left.record(float(value))
+        for value in samples[900:]:
+            right.record(float(value))
+        for value in samples:
+            combined.record(float(value))
+        merged = left.copy().merge(right)
+        assert merged._counts == combined._counts
+        assert merged.count == combined.count
+        assert merged.min_us == combined.min_us
+        assert merged.max_us == combined.max_us
+        assert merged.mean() == pytest.approx(combined.mean(), rel=1e-12)
+
+    def test_merge_associative(self, rng):
+        a = self._histogram(rng, 700)
+        b = self._histogram(rng, 1300)
+        c = self._histogram(rng, 400)
+        left_first = a.copy().merge(b).merge(c)
+        right_first = a.copy().merge(b.copy().merge(c))
+        assert left_first._counts == right_first._counts
+        assert left_first.count == right_first.count
+        assert left_first.min_us == right_first.min_us
+        assert left_first.max_us == right_first.max_us
+        assert left_first.mean() == pytest.approx(right_first.mean(),
+                                                  rel=1e-12)
+        for percentile in (50.0, 99.0, 99.9):
+            assert left_first.percentile(percentile) == \
+                right_first.percentile(percentile)
+
+    def test_merge_into_sample_keeping_collector_rejected(self):
+        keeper = make_metrics([1.0], record_samples=True)
+        plain = make_metrics([2.0])
+        with pytest.raises(ValueError, match="record_samples"):
+            keeper.merge(plain)
+        # The safe directions still work.
+        plain.merge(keeper)
+        assert plain.host_reads == 2
+        other_keeper = make_metrics([3.0], record_samples=True)
+        keeper.merge(other_keeper)
+        assert keeper.read_response_times_us == [1.0, 3.0]
+
+    def test_metrics_merge_folds_counters(self):
+        first = make_metrics([100.0], [10.0])
+        first.gc_erases = 2
+        first.simulated_time_us = 500.0
+        second = make_metrics([300.0, 500.0])
+        second.gc_erases = 1
+        second.simulated_time_us = 900.0
+        first.merge(second)
+        assert first.host_reads == 3
+        assert first.host_writes == 1
+        assert first.gc_erases == 3
+        assert first.pages_read == 3
+        # Simulated times add up, so utilization stays a true time-weighted
+        # average instead of being inflated by summed busy time.
+        assert first.simulated_time_us == 1400.0
+        assert first.mean_response_time_us("read") == pytest.approx(300.0)
+
+    def test_merged_die_utilization_is_time_weighted(self):
+        first = make_metrics([1.0])
+        first.simulated_time_us = 1000.0
+        first.record_die_busy((0, 0), 600.0)
+        second = make_metrics([1.0])
+        second.simulated_time_us = 1000.0
+        second.record_die_busy((0, 0), 600.0)
+        first.merge(second)
+        assert first.die_utilization() == pytest.approx(0.6)
 
 
 class TestNormalization:
