@@ -173,18 +173,47 @@ def _memory_child() -> int:
     return 0
 
 
+def check_memory_micro_supported() -> None:
+    """Fail fast, with a clear message, where the peak-RSS probe cannot run.
+
+    The probe needs the POSIX ``resource`` module (for ``ru_maxrss``) and
+    the ability to launch a child interpreter.  Where either is missing the
+    micro must not be skipped silently — that would disarm the memory gate
+    without anyone noticing — so the harness stops with an actionable
+    message instead of a traceback; ``--no-memory`` opts out explicitly.
+    """
+    try:
+        import resource  # noqa: F401 - probing availability, POSIX-only
+    except ImportError:
+        raise SystemExit(
+            "error: the streaming peak-memory micro needs the POSIX "
+            "'resource' module, which this platform does not provide; "
+            "re-run with --no-memory to record time-only benchmarks "
+            "(the baseline memory gate is then skipped entirely)"
+        )
+
+
 def run_memory_micro() -> dict:
     """Run the streaming peak-memory probe in a child process."""
-    completed = subprocess.run(
-        [sys.executable, str(Path(__file__).resolve()), "--memory-child"],
-        cwd=REPO_ROOT,
-        env=_subprocess_env(),
-        capture_output=True,
-        text=True,
-    )
+    try:
+        completed = subprocess.run(
+            [sys.executable, str(Path(__file__).resolve()), "--memory-child"],
+            cwd=REPO_ROOT,
+            env=_subprocess_env(),
+            capture_output=True,
+            text=True,
+        )
+    except OSError as error:
+        raise SystemExit(
+            "error: the peak-memory micro could not launch its child "
+            f"interpreter ({error}); re-run with --no-memory to record "
+            "time-only benchmarks"
+        )
     if completed.returncode != 0:
         raise SystemExit(
-            f"memory micro failed (exit {completed.returncode}):\n{completed.stderr}"
+            f"error: the peak-memory micro failed (exit "
+            f"{completed.returncode}); its stderr follows — re-run with "
+            f"--no-memory to skip it:\n{completed.stderr}"
         )
     return json.loads(completed.stdout)
 
@@ -248,24 +277,32 @@ def compare_to_baseline(
     return regressions
 
 
+def _memory_metric_key(current: dict, reference: dict) -> str:
+    """Which RSS metric the memory gate compares for one micro.
+
+    ``run_rss_delta_kib`` (RSS growth across the streamed run) when both
+    sides report it — the interpreter/numpy import footprint dominates
+    absolute RSS and would mask trace-length-proportional growth — falling
+    back to absolute ``peak_rss_kib`` otherwise.  The gate, the console
+    report and the CI job summary all select through this single helper so
+    they can never disagree.
+    """
+    key = "run_rss_delta_kib"
+    if not reference.get(key) or not current.get(key):
+        key = "peak_rss_kib"
+    return key
+
+
 def compare_memory_to_baseline(
     snapshot: dict, baseline: dict, max_regression: float
 ) -> list:
-    """Peak-RSS regressions beyond the threshold (same gate as time).
-
-    Gates on ``run_rss_delta_kib`` (RSS growth across the streamed run)
-    when both sides report it — the interpreter/numpy import footprint
-    dominates absolute RSS and would mask trace-length-proportional
-    growth — falling back to absolute ``peak_rss_kib`` otherwise.
-    """
+    """Peak-RSS regressions beyond the threshold (same gate as time)."""
     regressions = []
     for name, reference in (baseline.get("memory") or {}).items():
         current = (snapshot.get("memory") or {}).get(name)
         if current is None:
             continue
-        key = "run_rss_delta_kib"
-        if not reference.get(key) or not current.get(key):
-            key = "peak_rss_kib"
+        key = _memory_metric_key(current, reference)
         ratio = current[key] / reference[key]
         if ratio > 1.0 + max_regression:
             regressions.append(
@@ -296,10 +333,8 @@ def print_report(snapshot: dict, baseline: dict | None) -> None:
     reference_memory = (baseline or {}).get("memory", {})
     for name, stats in sorted((snapshot.get("memory") or {}).items()):
         peak_mib = stats["peak_rss_kib"] / 1024.0
-        key = "run_rss_delta_kib"
         reference = reference_memory.get(name, {})
-        if not stats.get(key) or not reference.get(key):
-            key = "peak_rss_kib"
+        key = _memory_metric_key(stats, reference)
         if reference.get(key):
             ratio = stats[key] / reference[key]
             delta = f"{(ratio - 1.0) * 100.0:+7.1f}%"
@@ -313,6 +348,91 @@ def print_report(snapshot: dict, baseline: dict | None) -> None:
             f"({stats['requests']} requests in {stats['wall_s']:.1f}s"
             f"{grew_text})"
         )
+
+
+def write_job_summary(
+    snapshot: dict,
+    baseline: dict | None,
+    regressions: list,
+    memory_regressions: list,
+    max_regression: float,
+    min_gate_mean_s: float,
+    path: str,
+    gated: bool,
+) -> None:
+    """Render the gate outcome as a GitHub Actions job-summary table.
+
+    One row per micro: mean vs baseline, % delta, and the gate verdict —
+    the same data the log prints, but as Markdown appended to
+    ``$GITHUB_STEP_SUMMARY`` so a regression is readable from the run page
+    without digging through logs.
+    """
+    failed_names = {entry["name"] for entry in regressions}
+    failed_names.update(entry["name"] for entry in memory_regressions)
+    reference = (baseline or {}).get("benchmarks", {})
+    reference_memory = (baseline or {}).get("memory", {})
+    lines = [
+        f"### Benchmark gate — `{snapshot['revision']}` "
+        f"(threshold {max_regression:.0%})",
+        "",
+        "| benchmark | baseline | current | delta | status |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+
+    def status_for(name: str, ratio: float | None, gate_exempt: bool) -> str:
+        if not gated:
+            return "not gated"
+        if name in failed_names:
+            return "**FAIL**"
+        if ratio is None:
+            return "new"
+        if gate_exempt:
+            return "pass (jitter-exempt)"
+        return "pass"
+
+    for name, stats in sorted(snapshot["benchmarks"].items()):
+        current_us = stats["mean_s"] * 1e6
+        entry = reference.get(name)
+        if entry:
+            baseline_us = entry["mean_s"] * 1e6
+            ratio = stats["mean_s"] / entry["mean_s"]
+            delta = f"{(ratio - 1.0) * 100.0:+.1f}%"
+            baseline_text = f"{baseline_us:.1f} us"
+            exempt = entry["mean_s"] < min_gate_mean_s
+        else:
+            ratio, delta, baseline_text, exempt = None, "—", "—", False
+        lines.append(
+            f"| `{name}` | {baseline_text} | {current_us:.1f} us | "
+            f"{delta} | {status_for(name, ratio, exempt)} |"
+        )
+    for name, stats in sorted((snapshot.get("memory") or {}).items()):
+        entry = reference_memory.get(name, {})
+        key = _memory_metric_key(stats, entry)
+        current_text = f"{stats[key] / 1024.0:.1f} MiB ({key})"
+        if entry.get(key):
+            ratio = stats[key] / entry[key]
+            delta = f"{(ratio - 1.0) * 100.0:+.1f}%"
+            baseline_text = f"{entry[key] / 1024.0:.1f} MiB"
+        else:
+            ratio, delta, baseline_text = None, "—", "—"
+        lines.append(
+            f"| `memory:{name}` | {baseline_text} | {current_text} | "
+            f"{delta} | {status_for(f'memory:{name}', ratio, False)} |"
+        )
+    total_failures = len(failed_names)
+    lines.append("")
+    if not gated:
+        lines.append("_No baseline comparison (gate disabled for this run)._")
+    elif total_failures:
+        lines.append(
+            f"**{total_failures} benchmark(s) regressed beyond "
+            f"{max_regression:.0%}.**"
+        )
+    else:
+        lines.append(f"All gated benchmarks within {max_regression:.0%} "
+                     "of baseline.")
+    with open(path, "a") as handle:
+        handle.write("\n".join(lines) + "\n")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -360,7 +480,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-memory",
         action="store_true",
-        help="skip the streaming peak-memory micro",
+        help="skip the streaming peak-memory micro and the baseline "
+        "memory comparison entirely",
+    )
+    parser.add_argument(
+        "--job-summary",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="append a Markdown gate table to FILE "
+        "(default: $GITHUB_STEP_SUMMARY when set)",
     )
     parser.add_argument(
         "--memory-child",
@@ -385,22 +514,19 @@ def main(argv=None) -> int:
     if args.memory_child:
         return _memory_child()
 
+    if not args.no_memory:
+        # Fail fast, before the (minutes-long) pytest benchmark run, where
+        # the peak-RSS probe cannot work at all.
+        check_memory_micro_supported()
+
     report = run_pytest_benchmarks(args.suite, args.pytest_args)
     snapshot = summarize(report, args.suite)
     if not args.no_memory:
-        try:
-            import resource  # noqa: F401 - probing availability, POSIX-only
-        except ImportError:
-            print(
-                "peak-memory micro skipped: the 'resource' module is "
-                "unavailable on this platform"
-            )
-        else:
-            print(
-                f"streaming {MEMORY_MICRO_REQUESTS} synthetic requests for "
-                "the peak-memory micro ..."
-            )
-            snapshot["memory"] = {MEMORY_MICRO_NAME: run_memory_micro()}
+        print(
+            f"streaming {MEMORY_MICRO_REQUESTS} synthetic requests for "
+            "the peak-memory micro ..."
+        )
+        snapshot["memory"] = {MEMORY_MICRO_NAME: run_memory_micro()}
 
     output = args.output
     if output is None:
@@ -428,22 +554,42 @@ def main(argv=None) -> int:
         baseline = json.loads(args.baseline.read_text())
     print_report(snapshot, baseline)
 
+    gated = not args.no_compare and baseline is not None
+    regressions = []
+    memory_regressions = []
+    if gated:
+        regressions = compare_to_baseline(
+            snapshot,
+            baseline,
+            args.max_regression,
+            min_gate_mean_s=args.min_gate_mean_us * 1e-6,
+        )
+        if not args.no_memory:
+            # --no-memory runs record no memory snapshot, so comparing
+            # would silently no-op; skip the memory gate explicitly.
+            memory_regressions = compare_memory_to_baseline(
+                snapshot, baseline, args.max_regression
+            )
+
+    summary_path = args.job_summary or os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        write_job_summary(
+            snapshot,
+            baseline,
+            regressions,
+            memory_regressions,
+            args.max_regression,
+            args.min_gate_mean_us * 1e-6,
+            str(summary_path),
+            gated,
+        )
+
     if args.no_compare:
         return 0
     if baseline is None:
         print(f"no baseline at {args.baseline}; skipping the perf gate")
         print("generate one with --update-baseline")
         return 0
-
-    regressions = compare_to_baseline(
-        snapshot,
-        baseline,
-        args.max_regression,
-        min_gate_mean_s=args.min_gate_mean_us * 1e-6,
-    )
-    memory_regressions = compare_memory_to_baseline(
-        snapshot, baseline, args.max_regression
-    )
     if regressions or memory_regressions:
         threshold = f"{args.max_regression:.0%}"
         total = len(regressions) + len(memory_regressions)

@@ -296,6 +296,10 @@ def _cmd_run(args) -> int:
         print(text)
         print()
     if args.out:
+        import pathlib
+
+        parent = pathlib.Path(args.out).parent
+        parent.mkdir(parents=True, exist_ok=True)
         with open(args.out, "w") as handle:
             handle.write("\n\n".join(outputs) + "\n")
     if args.export:

@@ -13,7 +13,13 @@ simulator:
   ``.condition(pec=2000, months=6).run()``);
 * :mod:`repro.sim.sweep` — :class:`SweepRunner`, which executes
   (workload x condition x policy) grids across a multiprocessing pool and
-  returns a tidy :class:`SweepResult`.
+  returns a tidy :class:`SweepResult`;
+* :mod:`repro.sim.fleet` — :class:`FleetSpec`/:class:`FleetRunner`, which
+  stripe an array-level workload (optionally a multi-tenant
+  :class:`~repro.workloads.tenants.TenantMix`) across N simulated SSDs,
+  and :class:`SloCapacitySearch`, which bisects the arrival rate for the
+  max sustainable load under a p99 SLO
+  (``Simulation.fleet(n).slo(p99_us=...)``).
 
 ``Simulation``/``SweepRunner`` are imported lazily (PEP 562) so that
 ``repro.core.policies`` can import the registry at module-import time
@@ -32,15 +38,22 @@ from repro.sim.registry import (
 )
 
 __all__ = [
+    "CapacityResult",
     "Condition",
     "DEFAULT_REGISTRY",
     "DuplicatePolicyError",
+    "FleetResult",
+    "FleetRunResult",
+    "FleetRunner",
+    "FleetSpec",
     "PolicyLookupError",
     "PolicyRegistry",
     "RunResult",
     "Simulation",
+    "SloCapacitySearch",
     "SweepResult",
     "SweepRunner",
+    "TenantMix",
     "WorkloadSpec",
     "default_registry",
     "pool_map",
@@ -55,6 +68,13 @@ _LAZY = {
     "SweepRunner": "repro.sim.sweep",
     "SweepResult": "repro.sim.sweep",
     "pool_map": "repro.sim.sweep",
+    "FleetSpec": "repro.sim.fleet",
+    "FleetRunner": "repro.sim.fleet",
+    "FleetResult": "repro.sim.fleet",
+    "FleetRunResult": "repro.sim.fleet",
+    "SloCapacitySearch": "repro.sim.fleet",
+    "CapacityResult": "repro.sim.fleet",
+    "TenantMix": "repro.workloads.tenants",
 }
 
 

@@ -1,0 +1,564 @@
+"""Fleet-scale simulation: arrays of SSDs behind a striping front-end.
+
+The paper evaluates read-retry policies one device at a time; a production
+deployment serves millions of users from *arrays* of devices behind a
+striping/replication front-end, and the operative question changes from
+"what is the mean response time of this trace?" to "what arrival rate can
+the array sustain under a p99 SLO?".  This module answers both:
+
+* :class:`FleetSpec` — the array: device count, stripe unit, replication
+  factor, the per-device :class:`~repro.ssd.config.SsdConfig` and operating
+  :class:`~repro.sim.spec.Condition` (optionally per device, for
+  heterogeneously aged fleets);
+* :class:`FleetRunner` — shards any array-level workload (a
+  :class:`~repro.sim.spec.WorkloadSpec`, a multi-tenant
+  :class:`~repro.workloads.tenants.TenantMix`, or an explicit request list)
+  across per-device :class:`~repro.ssd.controller.SsdSimulator` instances
+  via the striping router, fanning devices over the shared
+  :func:`~repro.sim.sweep.pool_map` worker pool.  Every device worker
+  regenerates its own shard from the spec, so nothing is materialized in
+  the parent and ``processes=N`` is bitwise-identical to serial;
+* :class:`FleetResult` — array-level metrics from
+  :meth:`~repro.ssd.metrics.LatencyHistogram.merge`: overall and per-tenant
+  p50/p99/p999, per-device utilization skew;
+* :class:`SloCapacitySearch` — bisects the arrival rate (geometrically,
+  with automatic bracketing) to find the maximum load whose array p99 stays
+  within a target, the fleet-sizing primitive behind
+  ``Simulation.fleet(n).slo(p99_us=...)`` and the ``fleet_capacity``
+  experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.rpt import ReadTimingParameterTable
+from repro.sim.registry import default_registry
+from repro.sim.spec import Condition, WorkloadSpec
+from repro.sim.sweep import DEFAULT_MEAN_INTERARRIVAL_US, _default_rpt, pool_map
+from repro.ssd.config import SsdConfig
+from repro.ssd.controller import (
+    DEFAULT_LOOKAHEAD_REQUESTS,
+    SimulationResult,
+    SsdSimulator,
+)
+from repro.ssd.metrics import SimulationMetrics
+from repro.ssd.request import HostRequest
+from repro.workloads.router import StripeRouter
+from repro.workloads.tenants import TenantMix
+
+#: Any array-level request source the fleet can shard.
+FleetSource = Union[str, WorkloadSpec, TenantMix, Sequence[HostRequest], dict]
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """An array of identical SSDs behind a striping/replication front-end."""
+
+    devices: int = 4
+    stripe_unit_pages: int = 8
+    replication: int = 1
+    #: Per-device configuration (all devices share one geometry).
+    config: SsdConfig = field(default_factory=SsdConfig.scaled)
+    #: Operating condition shared by every device ...
+    condition: Condition = field(default_factory=Condition)
+    #: ... unless a per-device tuple is given (heterogeneously aged fleet).
+    device_conditions: Optional[Tuple[Condition, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.devices < 1:
+            raise ValueError("devices must be at least 1")
+        if not 1 <= self.replication <= self.devices:
+            raise ValueError("replication must be in [1, devices]")
+        if self.device_conditions is not None:
+            coerced = tuple(Condition.coerce(condition)
+                            for condition in self.device_conditions)
+            if len(coerced) != self.devices:
+                raise ValueError(
+                    f"{len(coerced)} device_conditions for "
+                    f"{self.devices} devices")
+            object.__setattr__(self, "device_conditions", coerced)
+
+    def router(self) -> StripeRouter:
+        return StripeRouter(devices=self.devices,
+                            stripe_unit_pages=self.stripe_unit_pages,
+                            replication=self.replication)
+
+    @property
+    def array_logical_pages(self) -> int:
+        """Host-visible pages of the whole array (mirrors cost capacity)."""
+        return self.devices * self.config.logical_pages // self.replication
+
+    def device_condition(self, device: int) -> Condition:
+        if self.device_conditions is not None:
+            return self.device_conditions[device]
+        return self.condition
+
+    # -- manifest round-trip ---------------------------------------------------
+    def to_dict(self) -> dict:
+        payload = {
+            "devices": self.devices,
+            "stripe_unit_pages": self.stripe_unit_pages,
+            "replication": self.replication,
+            "config": self.config.to_dict(),
+            "condition": self.condition.to_dict(),
+        }
+        if self.device_conditions is not None:
+            payload["device_conditions"] = [
+                condition.to_dict() for condition in self.device_conditions
+            ]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FleetSpec":
+        payload = dict(payload)
+        payload["config"] = SsdConfig.from_dict(payload["config"])
+        payload["condition"] = Condition.from_dict(payload["condition"])
+        if payload.get("device_conditions") is not None:
+            payload["device_conditions"] = tuple(
+                Condition.from_dict(condition)
+                for condition in payload["device_conditions"]
+            )
+        return cls(**payload)
+
+
+def _source_payload(source: FleetSource, num_requests: Optional[int],
+                    seed: Optional[int]) -> dict:
+    """Normalize an array-level request source into a picklable payload."""
+    if isinstance(source, TenantMix):
+        return {"tenant_mix": source.to_dict()}
+    if isinstance(source, dict) and "tenants" in source:
+        return {"tenant_mix": TenantMix.from_dict(source).to_dict()}
+    if isinstance(source, (str, WorkloadSpec, dict)):
+        spec = WorkloadSpec.coerce(source, num_requests=num_requests,
+                                   seed=seed)
+        return {"workload": spec.to_dict()}
+    if isinstance(source, Sequence):
+        return {"requests": list(source)}
+    raise TypeError(
+        f"cannot shard {source!r}; pass a workload name/spec, a TenantMix, "
+        "or a sequence of HostRequest objects")
+
+
+def _source_stream(payload: dict, spec: FleetSpec) -> Iterable[HostRequest]:
+    """Rebuild the array-level stream a payload describes (in a worker)."""
+    pages = spec.array_logical_pages
+    if "workload" in payload:
+        workload = WorkloadSpec.from_dict(payload["workload"])
+        return workload.iter_requests(spec.config, footprint_pages=pages)
+    mix = TenantMix.from_dict(payload["tenant_mix"])
+    return mix.iter_requests(spec.config, logical_pages=pages)
+
+
+def _source_label(payload: dict) -> str:
+    if "workload" in payload:
+        return WorkloadSpec.from_dict(payload["workload"]).label
+    if "tenant_mix" in payload:
+        return TenantMix.from_dict(payload["tenant_mix"]).label
+    return f"explicit-{len(payload['requests'])}"
+
+
+def _run_fleet_device(payload: dict) -> Tuple[str, int, SimulationResult]:
+    """Simulate one device's shard — pure function of its payload.
+
+    The serial and parallel paths both execute exactly this function, which
+    is what makes ``processes=N`` bitwise-identical to a serial run.
+    """
+    spec = FleetSpec.from_dict(payload["fleet"])
+    device = payload["device"]
+    policy_name = payload["policy"]
+    rpt = payload.get("rpt") or _default_rpt()
+    config = spec.config
+    policy = default_registry().create(policy_name, timing=config.timing,
+                                       rpt=rpt)
+    simulator = SsdSimulator(config=config, policy=policy, rpt=rpt,
+                             device_id=device,
+                             track_tenants="tenant_mix" in payload)
+    condition = spec.device_condition(device)
+    simulator.precondition(pe_cycles=condition.pe_cycles,
+                           retention_months=condition.retention_months)
+    if "device_requests" in payload:
+        # Explicit lists were sorted and sharded once in the parent; the
+        # payload already holds this device's own sub-requests.
+        shard: Iterable[HostRequest] = payload["device_requests"]
+    else:
+        shard = spec.router().shard(_source_stream(payload, spec), device)
+    result = simulator.run(shard, lookahead=payload.get("lookahead")
+                           or DEFAULT_LOOKAHEAD_REQUESTS)
+    return policy_name, device, result
+
+
+@dataclass
+class FleetResult:
+    """Array-level outcome of one policy's fleet run."""
+
+    spec: FleetSpec
+    policy: str
+    #: Per-device results, indexed by device id.
+    device_results: List[SimulationResult]
+    workload_label: str = ""
+    tenant_names: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        self._merged: Optional[SimulationMetrics] = None
+
+    # -- aggregation -----------------------------------------------------------
+    @property
+    def merged(self) -> SimulationMetrics:
+        """Every device's metrics folded into one fixed-memory collector."""
+        if self._merged is None:
+            merged = SimulationMetrics()
+            for result in self.device_results:
+                merged.merge(result.metrics)
+            self._merged = merged
+        return self._merged
+
+    def percentile(self, percentile: float, kind: str = "all") -> float:
+        return self.merged.percentile_response_time_us(percentile, kind)
+
+    def p99(self, kind: str = "all") -> float:
+        return self.percentile(99.0, kind)
+
+    def p999(self, kind: str = "all") -> float:
+        return self.percentile(99.9, kind)
+
+    def mean_response_us(self, kind: str = "all") -> float:
+        return self.merged.mean_response_time_us(kind)
+
+    # -- tenants ---------------------------------------------------------------
+    def tenant_tails(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant p50/p99/p999 merged across every device."""
+        tails = {}
+        for tenant, histogram in sorted(self.merged.tenant_latency.items()):
+            name = (self.tenant_names[tenant]
+                    if self.tenant_names and tenant < len(self.tenant_names)
+                    else str(tenant))
+            tails[name] = {
+                "count": histogram.count,
+                "p50_us": round(histogram.percentile(50.0), 2),
+                "p99_us": round(histogram.p99(), 2),
+                "p999_us": round(histogram.p999(), 2),
+            }
+        return tails
+
+    # -- device balance --------------------------------------------------------
+    def device_utilizations(self) -> List[float]:
+        return [result.metrics.die_utilization()
+                for result in self.device_results]
+
+    def utilization_skew(self) -> float:
+        """max/mean device utilization — 1.0 is a perfectly balanced array."""
+        utilizations = self.device_utilizations()
+        mean = sum(utilizations) / len(utilizations)
+        if mean <= 0:
+            return 1.0
+        return max(utilizations) / mean
+
+    # -- reporting -------------------------------------------------------------
+    def device_rows(self) -> List[dict]:
+        """One tidy row per device (the fleet report's long format)."""
+        rows = []
+        for result in self.device_results:
+            metrics = result.metrics
+            combined = metrics.latency("all")
+            rows.append({
+                "policy": self.policy,
+                "device": result.device_id,
+                "host_reads": metrics.host_reads,
+                "host_writes": metrics.host_writes,
+                "mean_response_us": round(metrics.mean_response_time_us(), 2),
+                "p99_response_us": round(combined.p99(), 2),
+                "p999_response_us": round(combined.p999(), 2),
+                "die_utilization": round(metrics.die_utilization(), 3),
+            })
+        return rows
+
+    def summary(self) -> dict:
+        combined = self.merged.latency("all")
+        summary = {
+            "policy": self.policy,
+            "devices": self.spec.devices,
+            "replication": self.spec.replication,
+            "workload": self.workload_label,
+            "requests": self.merged.host_reads + self.merged.host_writes,
+            "mean_response_us": round(self.mean_response_us(), 2),
+            "p50_response_us": round(combined.percentile(50.0), 2),
+            "p99_response_us": round(combined.p99(), 2),
+            "p999_response_us": round(combined.p999(), 2),
+            "utilization_skew": round(self.utilization_skew(), 3),
+        }
+        tails = self.tenant_tails()
+        if len(tails) > 1:
+            summary["tenants"] = tails
+        return summary
+
+
+@dataclass
+class FleetRunResult:
+    """Per-policy :class:`FleetResult` objects of one fleet run."""
+
+    spec: FleetSpec
+    results: Dict[str, FleetResult]
+    manifest: dict = field(default_factory=dict)
+
+    @property
+    def policies(self) -> List[str]:
+        return list(self.results)
+
+    def __getitem__(self, policy: str) -> FleetResult:
+        return self.results[policy]
+
+    def __iter__(self):
+        return iter(self.results.items())
+
+    @property
+    def result(self) -> FleetResult:
+        if len(self.results) != 1:
+            raise ValueError(
+                f"run holds {len(self.results)} policies; index by name")
+        return next(iter(self.results.values()))
+
+    def rows(self) -> List[dict]:
+        return [row for result in self.results.values()
+                for row in result.device_rows()]
+
+
+class FleetRunner:
+    """Executes an array-level workload across a fleet of simulated SSDs."""
+
+    def __init__(self, spec: Optional[FleetSpec] = None, processes: int = 1,
+                 rpt: Optional[ReadTimingParameterTable] = None):
+        if processes < 1:
+            raise ValueError("processes must be at least 1")
+        self.spec = spec or FleetSpec()
+        self.processes = processes
+        self.rpt = rpt
+        self._registry = default_registry()
+
+    def run(self, source: FleetSource,
+            policies: Union[str, Iterable[str]] = "Baseline",
+            num_requests: Optional[int] = None,
+            seed: Optional[int] = None,
+            lookahead: Optional[int] = None) -> FleetRunResult:
+        """Shard ``source`` across the fleet for every policy.
+
+        One payload per (policy, device) cell goes through
+        :func:`~repro.sim.sweep.pool_map`; each worker regenerates the
+        array-level stream from its spec/mix payload and filters it down
+        to its own device, so the parent never materializes a declarative
+        trace and worker results are pure functions of their payloads
+        (serial == parallel, bitwise).  Explicit request lists — already
+        materialized by definition — are sorted and sharded once in the
+        parent, so each worker receives only its own device's
+        sub-requests.
+        """
+        if isinstance(policies, str):
+            policies = (policies,)
+        policy_names = tuple(self._registry.canonical_name(name)
+                             for name in policies)
+        if not policy_names:
+            raise ValueError("no policies given")
+        source_payload = _source_payload(source, num_requests, seed)
+        label = _source_label(source_payload)
+        if "requests" in source_payload:
+            # Keep the single-device contract ("pre-materialized sequences
+            # are sorted up front"), then split per device so payloads
+            # carry 1/N of the trace instead of devices x policies copies.
+            router = self.spec.router()
+            ordered = sorted(source_payload.pop("requests"),
+                             key=lambda request: request.arrival_us)
+            shards = {device: list(router.shard(ordered, device))
+                      for device in range(self.spec.devices)}
+        else:
+            shards = None
+        fleet_dict = self.spec.to_dict()
+        payloads = [
+            dict(source_payload, fleet=fleet_dict, device=device,
+                 policy=policy, rpt=self.rpt, lookahead=lookahead,
+                 **({"device_requests": shards[device]}
+                    if shards is not None else {}))
+            for policy in policy_names
+            for device in range(self.spec.devices)
+        ]
+        outcomes = pool_map(_run_fleet_device, payloads, self.processes)
+
+        tenant_names = None
+        if "tenant_mix" in source_payload:
+            tenant_names = TenantMix.from_dict(
+                source_payload["tenant_mix"]).tenant_names()
+        by_policy: Dict[str, List[SimulationResult]] = {
+            name: [None] * self.spec.devices for name in policy_names}
+        for policy, device, result in outcomes:
+            by_policy[policy][device] = result
+        results = {
+            name: FleetResult(spec=self.spec, policy=name,
+                              device_results=by_policy[name],
+                              workload_label=label,
+                              tenant_names=tenant_names)
+            for name in policy_names
+        }
+        manifest = {
+            "fleet": fleet_dict,
+            "source": {key: value for key, value in source_payload.items()
+                       if key != "requests"},
+            "policies": list(policy_names),
+        }
+        return FleetRunResult(spec=self.spec, results=results,
+                              manifest=manifest)
+
+
+# -- SLO capacity search -------------------------------------------------------
+def _current_rate_rps(source: Union[WorkloadSpec, TenantMix]) -> float:
+    if isinstance(source, TenantMix):
+        return source.total_arrival_rate_rps(DEFAULT_MEAN_INTERARRIVAL_US)
+    interarrival = source.mean_interarrival_us or DEFAULT_MEAN_INTERARRIVAL_US
+    return 1e6 / interarrival
+
+
+def _with_rate(source: Union[WorkloadSpec, TenantMix],
+               rate_rps: float) -> Union[WorkloadSpec, TenantMix]:
+    if isinstance(source, TenantMix):
+        return source.with_arrival_rate(rate_rps, DEFAULT_MEAN_INTERARRIVAL_US)
+    return WorkloadSpec.coerce(source, mean_interarrival_us=1e6 / rate_rps)
+
+
+@dataclass
+class CapacityProbe:
+    """One measured point of the capacity search."""
+
+    rate_rps: float
+    mean_interarrival_us: float
+    p99_us: float
+    meets_slo: bool
+
+
+@dataclass
+class CapacityResult:
+    """Outcome of one SLO capacity search."""
+
+    policy: str
+    target_p99_us: float
+    tolerance: float
+    converged: bool
+    #: Highest measured rate meeting the SLO (None if even the lowest
+    #: probed rate violated it).
+    max_rate_rps: Optional[float]
+    #: Lowest measured rate violating the SLO (None if the search never
+    #: saw a violation — the device is not the bottleneck at these rates).
+    min_violating_rate_rps: Optional[float]
+    probes: List[CapacityProbe]
+    #: The fleet result measured at ``max_rate_rps``.
+    fleet: Optional[FleetResult] = None
+
+    @property
+    def max_sustainable_interarrival_us(self) -> Optional[float]:
+        if self.max_rate_rps is None:
+            return None
+        return 1e6 / self.max_rate_rps
+
+    def probe_rows(self) -> List[dict]:
+        return [{
+            "probe": index,
+            "rate_rps": round(probe.rate_rps, 2),
+            "mean_interarrival_us": round(probe.mean_interarrival_us, 2),
+            "p99_response_us": round(probe.p99_us, 2),
+            "meets_slo": probe.meets_slo,
+        } for index, probe in enumerate(self.probes)]
+
+    def summary(self) -> dict:
+        return {
+            "policy": self.policy,
+            "target_p99_us": self.target_p99_us,
+            "max_rate_rps": (round(self.max_rate_rps, 2)
+                             if self.max_rate_rps is not None else None),
+            "converged": self.converged,
+            "tolerance": self.tolerance,
+            "probes": len(self.probes),
+        }
+
+
+class SloCapacitySearch:
+    """Finds the max arrival rate whose array p99 stays within a target.
+
+    The search brackets first — doubling the rate while the SLO holds,
+    halving while it is violated — then bisects geometrically until the
+    sustainable/violating bracket is within ``tolerance`` (a relative rate
+    width: ``converged`` means the true capacity lies within
+    ``max_rate_rps * (1 + tolerance)``).  The response-time-vs-load curve
+    of a work-conserving array is monotone, so bracketing plus bisection
+    converges for any starting rate; every probe reuses the same stream
+    seeds, which keeps the search deterministic.
+    """
+
+    def __init__(self, runner: FleetRunner, target_p99_us: float,
+                 tolerance: float = 0.05, max_probes: int = 12,
+                 kind: str = "all"):
+        if target_p99_us <= 0:
+            raise ValueError("target_p99_us must be positive")
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        if max_probes < 2:
+            raise ValueError("max_probes must be at least 2")
+        self.runner = runner
+        self.target_p99_us = target_p99_us
+        self.tolerance = tolerance
+        self.max_probes = max_probes
+        self.kind = kind
+
+    def find(self, source: Union[str, WorkloadSpec, TenantMix, dict],
+             policy: str = "Baseline",
+             num_requests: Optional[int] = None,
+             seed: Optional[int] = None,
+             start_rate_rps: Optional[float] = None) -> CapacityResult:
+        """Run the search for one policy and return its capacity."""
+        if isinstance(source, str) or isinstance(source, dict):
+            source = (TenantMix.from_dict(source)
+                      if isinstance(source, dict) and "tenants" in source
+                      else WorkloadSpec.coerce(source,
+                                               num_requests=num_requests,
+                                               seed=seed))
+        elif isinstance(source, WorkloadSpec):
+            source = WorkloadSpec.coerce(source, num_requests=num_requests,
+                                         seed=seed)
+        probes: List[CapacityProbe] = []
+        best_fleet: Optional[FleetResult] = None
+        lo: Optional[float] = None  # highest rate meeting the SLO
+        hi: Optional[float] = None  # lowest rate violating it
+
+        rate = start_rate_rps or _current_rate_rps(source)
+        for _ in range(self.max_probes):
+            fleet = self.runner.run(_with_rate(source, rate),
+                                    policies=policy).result
+            p99 = fleet.p99(self.kind)
+            meets = p99 <= self.target_p99_us
+            probes.append(CapacityProbe(
+                rate_rps=rate, mean_interarrival_us=1e6 / rate,
+                p99_us=p99, meets_slo=meets))
+            if meets:
+                if lo is None or rate > lo:
+                    lo, best_fleet = rate, fleet
+            elif hi is None or rate < hi:
+                hi = rate
+            if lo is not None and hi is not None:
+                if hi / lo <= 1.0 + self.tolerance:
+                    break
+                rate = math.sqrt(lo * hi)
+            elif lo is None:
+                rate = rate / 2.0
+            else:
+                rate = rate * 2.0
+
+        converged = (lo is not None and hi is not None
+                     and hi / lo <= 1.0 + self.tolerance)
+        return CapacityResult(
+            policy=self.runner._registry.canonical_name(policy),
+            target_p99_us=self.target_p99_us,
+            tolerance=self.tolerance,
+            converged=converged,
+            max_rate_rps=lo,
+            min_violating_rate_rps=hi,
+            probes=probes,
+            fleet=best_fleet,
+        )

@@ -31,6 +31,7 @@ from repro.ssd.controller import SimulationResult, SsdSimulator
 from repro.ssd.metrics import normalized_response_times
 from repro.ssd.request import HostRequest
 from repro.workloads.synthetic import WorkloadShape
+from repro.workloads.tenants import TenantMix
 
 
 @dataclass
@@ -99,6 +100,10 @@ class Simulation:
         self._rpt: Optional[ReadTimingParameterTable] = None
         self._lookahead: Optional[int] = None
         self._registry = default_registry()
+        self._tenant_mix: Optional[TenantMix] = None
+        self._fleet_params: Optional[dict] = None
+        self._slo_params: Optional[dict] = None
+        self._closed_loop_params: Optional[dict] = None
 
     # -- builder steps --------------------------------------------------------
     def policy(self, policy) -> "Simulation":
@@ -131,6 +136,7 @@ class Simulation:
             footprint_fraction=footprint_fraction)
         self._requests = None
         self._stream = None
+        self._tenant_mix = None
         return self
 
     def synthetic(self, shape: Optional[WorkloadShape] = None,
@@ -153,6 +159,7 @@ class Simulation:
         self._requests = list(requests)
         self._workload = None
         self._stream = None
+        self._tenant_mix = None
         return self
 
     def stream(self, factory: Callable[[], Iterable[HostRequest]]
@@ -171,6 +178,90 @@ class Simulation:
         self._stream = factory
         self._requests = None
         self._workload = None
+        self._tenant_mix = None
+        return self
+
+    def tenants(self, *tenants, names: Optional[Sequence[str]] = None,
+                n: Optional[int] = None,
+                seed: Optional[int] = None) -> "Simulation":
+        """Mix several workloads as tenants of one shared device or fleet.
+
+        Each argument is anything :meth:`workload` accepts (a Table 2 name,
+        a :class:`WorkloadSpec`, a shape); a single :class:`TenantMix` is
+        used as-is.  Requests are tagged with their tenant index, so the
+        metrics layer reports a latency histogram per tenant.
+        """
+        if len(tenants) == 1 and isinstance(tenants[0], TenantMix):
+            mix = tenants[0]
+        else:
+            mix = TenantMix.coerce(list(tenants), num_requests=n, seed=seed)
+        if names is not None:
+            mix = TenantMix(tenants=mix.tenants, names=tuple(names))
+        self._tenant_mix = mix
+        self._workload = None
+        self._requests = None
+        self._stream = None
+        return self
+
+    def fleet(self, devices: int, stripe_unit_pages: int = 8,
+              replication: int = 1,
+              device_conditions: Optional[Sequence] = None,
+              processes: int = 1) -> "Simulation":
+        """Run against an array of ``devices`` SSDs instead of a single one.
+
+        The array stripes the workload across identical copies of this
+        simulation's config (see :class:`repro.sim.fleet.FleetSpec`);
+        ``processes`` fans the per-device simulations over a worker pool
+        (bitwise-identical to serial).  ``run()`` then returns a
+        :class:`repro.sim.fleet.FleetRunResult`.
+        """
+        self._fleet_params = {
+            "devices": devices,
+            "stripe_unit_pages": stripe_unit_pages,
+            "replication": replication,
+            "device_conditions": device_conditions,
+            "processes": processes,
+        }
+        return self
+
+    def slo(self, p99_us: float, tolerance: float = 0.05,
+            max_probes: int = 12, kind: str = "all",
+            start_rate_rps: Optional[float] = None) -> "Simulation":
+        """Search for the max arrival rate sustaining ``p99 <= p99_us``.
+
+        ``run()`` then bisects the workload's arrival rate on the
+        configured fleet (a single device unless :meth:`fleet` was called)
+        and returns a :class:`repro.sim.fleet.CapacityResult`.  Requires
+        exactly one policy and a rate-scalable workload (a workload spec or
+        tenant mix, not an explicit request list).
+        """
+        self._slo_params = {
+            "target_p99_us": p99_us,
+            "tolerance": tolerance,
+            "max_probes": max_probes,
+            "kind": kind,
+            "start_rate_rps": start_rate_rps,
+        }
+        return self
+
+    def closed_loop(self, clients: int = 4, queue_depth: int = 1,
+                    total_requests: int = 1000,
+                    think_time_us: float = 0.0) -> "Simulation":
+        """Drive the device closed-loop instead of replaying arrival times.
+
+        Each of ``clients`` keeps ``queue_depth`` requests outstanding and
+        issues the next one when a previous completes (plus
+        ``think_time_us``); request contents come from the configured
+        workload, whose own arrival times are ignored.  Incompatible with
+        :meth:`fleet` (closed-loop clients react to one device's
+        completions).
+        """
+        self._closed_loop_params = {
+            "clients": clients,
+            "queue_depth": queue_depth,
+            "total_requests": total_requests,
+            "think_time_us": think_time_us,
+        }
         return self
 
     def condition(self, condition: Union[Condition, tuple, None] = None, *,
@@ -211,11 +302,25 @@ class Simulation:
         }
         if self._workload is not None:
             manifest["workload"] = self._workload.to_dict()
+        elif self._tenant_mix is not None:
+            manifest["workload"] = self._tenant_mix.to_dict()
         elif self._requests is not None:
             manifest["workload"] = {"explicit_requests": len(self._requests)}
         elif self._stream is not None:
             manifest["workload"] = {
                 "stream": getattr(self._stream, "__name__", "<stream>")}
+        if self._fleet_params is not None:
+            fleet = {key: value for key, value in self._fleet_params.items()
+                     if key != "processes"}
+            if fleet.get("device_conditions") is not None:
+                fleet["device_conditions"] = [
+                    Condition.coerce(condition).to_dict()
+                    for condition in fleet["device_conditions"]]
+            manifest["fleet"] = fleet
+        if self._slo_params is not None:
+            manifest["slo"] = dict(self._slo_params)
+        if self._closed_loop_params is not None:
+            manifest["closed_loop"] = dict(self._closed_loop_params)
         return manifest
 
     def _policy_stream(self) -> Iterable[HostRequest]:
@@ -235,10 +340,147 @@ class Simulation:
         raise ValueError("no workload configured; call .workload(), "
                          ".synthetic(), .requests() or .stream() first")
 
-    def run(self) -> RunResult:
-        """Execute every configured policy and collect the results."""
+    def _fleet_spec(self):
+        from repro.sim.fleet import FleetSpec
+
+        params = self._fleet_params or {"devices": 1, "stripe_unit_pages": 8,
+                                        "replication": 1,
+                                        "device_conditions": None,
+                                        "processes": 1}
+        device_conditions = params["device_conditions"]
+        if device_conditions is not None:
+            device_conditions = tuple(Condition.coerce(condition)
+                                      for condition in device_conditions)
+        return FleetSpec(devices=params["devices"],
+                         stripe_unit_pages=params["stripe_unit_pages"],
+                         replication=params["replication"],
+                         config=self._config,
+                         condition=self._condition,
+                         device_conditions=device_conditions)
+
+    def _fleet_source(self):
+        if self._tenant_mix is not None:
+            return self._tenant_mix
+        if self._workload is not None:
+            return self._workload
+        if self._requests is not None:
+            return self._requests
+        raise ValueError(
+            "fleet runs shard a declarative source; call .workload(), "
+            ".synthetic(), .tenants() or .requests() first (.stream() "
+            "factories cannot be re-sharded per device)")
+
+    def _run_fleet(self):
+        from repro.sim.fleet import FleetRunner, SloCapacitySearch
+
+        processes = (self._fleet_params or {}).get("processes", 1)
+        runner = FleetRunner(spec=self._fleet_spec(), processes=processes,
+                             rpt=self._rpt)
+        if not all(isinstance(policy, str) for policy in self._policies):
+            raise ValueError("fleet runs resolve policies per device; pass "
+                             "registry names, not policy instances")
+        policy_names = list(self._policies)
+        if self._slo_params is not None:
+            if len(policy_names) != 1:
+                raise ValueError("slo() capacity search needs exactly one "
+                                 "policy")
+            if self._requests is not None:
+                raise ValueError("slo() bisects the arrival rate; it needs "
+                                 "a workload spec or tenant mix, not an "
+                                 "explicit request list")
+            params = self._slo_params
+            search = SloCapacitySearch(
+                runner, target_p99_us=params["target_p99_us"],
+                tolerance=params["tolerance"],
+                max_probes=params["max_probes"], kind=params["kind"])
+            return search.find(self._fleet_source(), policy=policy_names[0],
+                               start_rate_rps=params["start_rate_rps"])
+        result = runner.run(self._fleet_source(), policies=policy_names,
+                            lookahead=self._lookahead)
+        result.manifest = dict(result.manifest, session=self.manifest())
+        return result
+
+    def _run_closed_loop(self) -> RunResult:
+        from repro.workloads.closed_loop import ClosedLoopSource
+
+        if self._workload is None:
+            raise ValueError("closed_loop() draws request contents from a "
+                             "workload spec; call .workload() or "
+                             ".synthetic() first")
+        shared_rpt = self._rpt or ReadTimingParameterTable.default()
+        params = self._closed_loop_params
+        results: Dict[str, SimulationResult] = {}
+        for entry in self._policies:
+            if isinstance(entry, str):
+                policy = self._registry.create(
+                    entry, timing=self._config.timing, rpt=shared_rpt)
+            else:
+                policy = entry
+            simulator = SsdSimulator(config=self._config, policy=policy,
+                                     rpt=shared_rpt)
+            simulator.precondition(
+                pe_cycles=self._condition.pe_cycles,
+                retention_months=self._condition.retention_months)
+            source = ClosedLoopSource(
+                self._workload, config=self._config,
+                clients=params["clients"],
+                queue_depth=params["queue_depth"],
+                total_requests=params["total_requests"],
+                think_time_us=params["think_time_us"],
+                seed=self._workload.seed)
+            result = simulator.run_closed_loop(source)
+            results[result.policy_name] = result
+        return RunResult(config=self._config, condition=self._condition,
+                         results=results, workload=self._workload,
+                         manifest=self.manifest())
+
+    def run(self):
+        """Execute the configured run and collect the results.
+
+        Plain runs return a :class:`RunResult`; after :meth:`fleet` the
+        return is a :class:`repro.sim.fleet.FleetRunResult`, and after
+        :meth:`slo` a :class:`repro.sim.fleet.CapacityResult`.
+        """
         if not self._policies:
             raise ValueError("no policy configured; call .policy(name) first")
+        if self._closed_loop_params is not None:
+            if self._fleet_params is not None or self._slo_params is not None:
+                raise ValueError("closed_loop() drives a single device; it "
+                                 "cannot be combined with fleet() or slo()")
+            return self._run_closed_loop()
+        if self._fleet_params is not None or self._slo_params is not None:
+            return self._run_fleet()
+        if self._tenant_mix is not None:
+            return self._run_tenant_device()
+        return self._run_device()
+
+    def _run_tenant_device(self) -> RunResult:
+        """A tenant mix on a single device (no fleet): stream the merge."""
+        mix = self._tenant_mix
+        shared_rpt = self._rpt or ReadTimingParameterTable.default()
+        results: Dict[str, SimulationResult] = {}
+        for entry in self._policies:
+            if isinstance(entry, str):
+                policy = self._registry.create(
+                    entry, timing=self._config.timing, rpt=shared_rpt)
+            else:
+                policy = entry
+            simulator = SsdSimulator(config=self._config, policy=policy,
+                                     rpt=shared_rpt, track_tenants=True)
+            simulator.precondition(
+                pe_cycles=self._condition.pe_cycles,
+                retention_months=self._condition.retention_months)
+            stream = mix.iter_requests(self._config)
+            if self._lookahead is not None:
+                result = simulator.run(stream, lookahead=self._lookahead)
+            else:
+                result = simulator.run(stream)
+            results[result.policy_name] = result
+        return RunResult(config=self._config, condition=self._condition,
+                         results=results, workload=None,
+                         manifest=self.manifest())
+
+    def _run_device(self) -> RunResult:
         shared_rpt = self._rpt or ReadTimingParameterTable.default()
         results: Dict[str, SimulationResult] = {}
         previous_stream = None

@@ -90,13 +90,20 @@ class WorkloadSpec:
         """Generate a fresh request stream for this spec (materialized)."""
         return list(self.iter_requests(config))
 
-    def iter_requests(self, config: SsdConfig) -> Iterator[HostRequest]:
+    def iter_requests(self, config: SsdConfig,
+                      footprint_pages: Optional[int] = None
+                      ) -> Iterator[HostRequest]:
         """Stream the spec's requests lazily (identical draws to build).
 
         The canonical way to feed a spec into the simulator: the generator
         holds O(1) state, so the trace length never bounds memory.
+
+        ``footprint_pages`` overrides the page count the footprint fraction
+        is applied to — the fleet layer passes the *array's* logical size so
+        a striped workload spans every device, not just one.
         """
-        footprint = self.footprint_pages(config)
+        footprint = (self.footprint_pages(config) if footprint_pages is None
+                     else int(footprint_pages * self.footprint_fraction))
         if self.name is not None:
             return iter_workload(
                 self.name, self.num_requests, footprint, seed=self.seed,

@@ -76,6 +76,8 @@ class SimulationResult:
     metrics: SimulationMetrics
     preconditioned_pe_cycles: int
     preconditioned_retention_months: float
+    #: Which device of a fleet produced this result (0 for standalone runs).
+    device_id: int = 0
 
     @property
     def mean_response_time_us(self) -> float:
@@ -115,8 +117,16 @@ class SsdSimulator:
     def __init__(self, config: SsdConfig = None,
                  policy: Union[str, ReadRetryPolicy] = "Baseline",
                  rpt: ReadTimingParameterTable = None,
-                 record_samples: bool = False):
+                 record_samples: bool = False,
+                 device_id: int = 0,
+                 track_tenants: bool = False):
         self.config = config or SsdConfig.scaled()
+        self.device_id = device_id
+        #: When True, every completion is also recorded into a per-tenant
+        #: histogram keyed by the request's ``queue_id``.  Off by default so
+        #: plain runs pay nothing and keep ``metrics.tenant_latency`` empty;
+        #: tenant-mix and closed-loop drivers switch it on.
+        self.track_tenants = track_tenants
         if isinstance(policy, str):
             self.policy = get_policy(policy, timing=self.config.timing, rpt=rpt)
         else:
@@ -153,6 +163,12 @@ class SsdSimulator:
         # conditions; interning the OperatingCondition objects keeps the
         # per-read path free of dataclass construction and validation.
         self._condition_cache: Dict[tuple, OperatingCondition] = {}
+        #: Optional hook invoked as ``hook(request, now_us)`` whenever a host
+        #: request completes (reads: last page ready; writes: buffer
+        #: admission).  Closed-loop load generators use it to issue each
+        #: client's next request the moment an outstanding one finishes.
+        self.on_request_complete: Optional[
+            Callable[[HostRequest, float], None]] = None
 
     # -- preconditioning ------------------------------------------------------------
     def precondition(self, pe_cycles: int = 0, retention_months: float = 0.0,
@@ -218,6 +234,59 @@ class SsdSimulator:
             self._source_exhausted = True
             if closer is not None:
                 closer()
+        return self._finalize_run()
+
+    def run_closed_loop(self, source) -> SimulationResult:
+        """Simulate a closed-loop load generator instead of an open stream.
+
+        ``source`` is a :class:`~repro.workloads.closed_loop.ClosedLoopSource`
+        (or anything with its ``start()``/``on_complete()`` protocol): every
+        client keeps a fixed number of requests outstanding, and each
+        completion triggers the owning client's next request after its think
+        time.  Arrival times therefore *react to device latency* — the
+        classical closed-loop model — rather than following a fixed trace.
+        """
+        initial = source.start()
+        if self.on_request_complete is not None:
+            raise RuntimeError(
+                "on_request_complete is already in use; run_closed_loop "
+                "installs its own completion hook")
+        # Requests carry their client index in queue_id; per-client latency
+        # attribution is part of the closed-loop model.
+        self.track_tenants = True
+        self.on_request_complete = (
+            lambda request, now: self._inject_followups(source, request, now))
+        try:
+            for request in initial:
+                self.inject(request)
+            self.events.run()
+        finally:
+            self.on_request_complete = None
+        return self._finalize_run()
+
+    def inject(self, request: HostRequest) -> None:
+        """Schedule one host request's arrival directly (closed-loop path).
+
+        Bypasses the streaming admission pump: closed-loop sources create
+        arrivals in reaction to completions, so there is no ordered stream
+        to pump from.  The arrival must not be in the simulated past.
+        """
+        if request.arrival_us < self.events.now_us:
+            raise ValueError(
+                f"request {request.request_id} arrives at "
+                f"{request.arrival_us} us, before the current simulation "
+                f"clock ({self.events.now_us} us)")
+        self._outstanding_requests += 1
+        self.events.schedule(
+            request.arrival_us,
+            lambda req=request: self._on_request_arrival(req))
+
+    def _inject_followups(self, source, request: HostRequest,
+                          now_us: float) -> None:
+        for followup in source.on_complete(request, now_us):
+            self.inject(followup)
+
+    def _finalize_run(self) -> SimulationResult:
         self.metrics.simulated_time_us = self.events.now_us
         for key, scheduler in self.schedulers.items():
             self.metrics.record_die_busy(key, scheduler.total_busy_us)
@@ -228,7 +297,8 @@ class SsdSimulator:
             config=self.config,
             metrics=self.metrics,
             preconditioned_pe_cycles=self._preconditioned_pe_cycles,
-            preconditioned_retention_months=self._cold_retention_months)
+            preconditioned_retention_months=self._cold_retention_months,
+            device_id=self.device_id)
 
     def _pump(self) -> None:
         """Admit arrivals from the source until the lookahead window is full."""
@@ -297,11 +367,15 @@ class SsdSimulator:
 
     def _complete_write_admission(self, request: HostRequest) -> None:
         now = self.events.now_us
-        self.metrics.record_write(now - request.arrival_us)
+        self.metrics.record_write(
+            now - request.arrival_us,
+            tenant=request.queue_id if self.track_tenants else None)
         self._outstanding_requests -= 1
         for lpn in request.lpns:
             self._issue_program(lpn % self.config.logical_pages, request)
         self._run_gc_if_needed()
+        if self.on_request_complete is not None:
+            self.on_request_complete(request, now)
 
     def _issue_program(self, lpn: int, request: Optional[HostRequest]) -> None:
         physical, _ = self.ftl.write(lpn, retention_months=0.0)
@@ -387,8 +461,11 @@ class SsdSimulator:
         if progress.pending_pages == 0:
             del self._read_progress[request.request_id]
             self.metrics.record_read(
-                progress.last_page_ready_us - request.arrival_us)
+                progress.last_page_ready_us - request.arrival_us,
+                tenant=request.queue_id if self.track_tenants else None)
             self._outstanding_requests -= 1
+            if self.on_request_complete is not None:
+                self.on_request_complete(request, self.events.now_us)
 
     def _complete_host_program_page(self, transaction: FlashTransaction) -> None:
         self.write_buffer.release(1)

@@ -244,6 +244,11 @@ class SimulationMetrics:
         self.record_samples = record_samples
         self.read_latency = LatencyHistogram()
         self.write_latency = LatencyHistogram()
+        #: Per-tenant response-time histograms, keyed by the requests'
+        #: ``queue_id`` (the tenant tag a :class:`TenantMix` stamps).  A
+        #: single-tenant run keeps everything under key 0; memory is one
+        #: fixed-size histogram per distinct tenant, never per request.
+        self.tenant_latency: Dict[int, LatencyHistogram] = {}
         #: Exact distribution of retry steps over completed page reads.
         self.retry_step_counts: Dict[int, int] = {}
         self.pages_read = 0
@@ -265,17 +270,21 @@ class SimulationMetrics:
 
     # -- recording ------------------------------------------------------------
     def record_read(self, response_us: float,
-                    retry_steps: Optional[int] = None) -> None:
+                    retry_steps: Optional[int] = None,
+                    tenant: Optional[int] = None) -> None:
         """Record one completed host read request.
 
         ``retry_steps`` additionally records one page-read retry count —
         convenient for synthetic metrics in tests; the simulator records its
         per-page retry steps separately via :meth:`record_retry_steps`.
+        ``tenant`` attributes the sample to a per-tenant histogram as well.
         """
         if response_us < 0:
             raise ValueError("response_us must be non-negative")
         self.read_latency.record(response_us)
         self.host_reads += 1
+        if tenant is not None:
+            self._tenant_histogram(tenant).record(response_us)
         if self.record_samples:
             self._read_samples.append(response_us)
         if retry_steps is not None:
@@ -290,13 +299,22 @@ class SimulationMetrics:
         if self.record_samples:
             self._retry_step_samples.append(steps)
 
-    def record_write(self, response_us: float) -> None:
+    def record_write(self, response_us: float,
+                     tenant: Optional[int] = None) -> None:
         if response_us < 0:
             raise ValueError("response_us must be non-negative")
         self.write_latency.record(response_us)
         self.host_writes += 1
+        if tenant is not None:
+            self._tenant_histogram(tenant).record(response_us)
         if self.record_samples:
             self._write_samples.append(response_us)
+
+    def _tenant_histogram(self, tenant: int) -> LatencyHistogram:
+        histogram = self.tenant_latency.get(tenant)
+        if histogram is None:
+            histogram = self.tenant_latency[tenant] = LatencyHistogram()
+        return histogram
 
     def record_die_busy(self, die_key: tuple, busy_us: float) -> None:
         self.die_busy_us[die_key] = self.die_busy_us.get(die_key, 0.0) + busy_us
@@ -313,6 +331,8 @@ class SimulationMetrics:
                 "record both sides with record_samples=True")
         self.read_latency.merge(other.read_latency)
         self.write_latency.merge(other.write_latency)
+        for tenant, histogram in other.tenant_latency.items():
+            self._tenant_histogram(tenant).merge(histogram)
         for steps, count in other.retry_step_counts.items():
             self.retry_step_counts[steps] = (
                 self.retry_step_counts.get(steps, 0) + count)

@@ -26,6 +26,7 @@ from repro.workloads.trace import (
     records_to_requests,
     write_msrc_csv,
 )
+from repro.workloads.router import StripeRouter
 from repro.workloads.synthetic import SyntheticWorkload, WorkloadShape
 from repro.workloads.catalog import (
     WORKLOAD_CATALOG,
@@ -42,6 +43,7 @@ __all__ = [
     "write_msrc_csv",
     "iter_records_to_requests",
     "records_to_requests",
+    "StripeRouter",
     "SyntheticWorkload",
     "WorkloadShape",
     "WorkloadSpec",

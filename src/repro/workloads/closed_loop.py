@@ -1,0 +1,126 @@
+"""Closed-loop load generation: clients with a fixed queue depth.
+
+Open-loop (trace-driven) injection submits requests at predetermined
+timestamps no matter how the device is doing — the right model for replaying
+a capture, but it lets the backlog grow without bound past saturation.
+Production front-ends behave *closed-loop*: each client keeps at most
+``queue_depth`` requests outstanding and issues the next one only when a
+previous one completes (plus an optional think time).  Offered load then
+adapts to device latency, which is the model interactive services and
+benchmark harnesses like YCSB actually follow.
+
+:class:`ClosedLoopSource` implements that model against
+:meth:`repro.ssd.controller.SsdSimulator.run_closed_loop`: the simulator
+injects the initial window (``clients x queue_depth`` requests at time
+zero) and calls :meth:`ClosedLoopSource.on_complete` for every finished
+request, which hands back the owning client's next request stamped at
+``completion + think_time``.  Request *contents* (kind, address, size) are
+drawn from an ordinary :class:`~repro.sim.spec.WorkloadSpec` — one
+independently seeded stream per client — so the same Table 2 shapes drive
+both injection models; only the arrival process differs.
+
+Everything is deterministic: per-client streams are seeded ``seed +
+client``, and completions arrive in deterministic simulator order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.sim.spec import WorkloadSpec
+from repro.ssd.config import SsdConfig
+from repro.ssd.request import HostRequest
+
+
+class ClosedLoopSource:
+    """Generates per-client request chains for a closed-loop run.
+
+    :param spec: what the requests look like (catalog name, shape or spec);
+        its arrival times are ignored — arrivals come from completions.
+    :param config: the simulated device (sizes the address footprint).
+    :param clients: number of independent closed-loop clients.
+    :param queue_depth: outstanding requests each client maintains.
+    :param total_requests: stop issuing once this many requests started.
+    :param think_time_us: pause between a completion and the owning
+        client's next request.
+    :param seed: base seed; client ``i`` streams with ``seed + i``.
+    :param logical_pages: optional override of the addressable page count
+        (a fleet would pass the array size).
+    """
+
+    def __init__(
+        self,
+        spec,
+        config: Optional[SsdConfig] = None,
+        clients: int = 4,
+        queue_depth: int = 1,
+        total_requests: int = 1000,
+        think_time_us: float = 0.0,
+        seed: int = 0,
+        logical_pages: Optional[int] = None,
+    ):
+        if clients < 1:
+            raise ValueError("clients must be at least 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be at least 1")
+        if total_requests < 1:
+            raise ValueError("total_requests must be positive")
+        if think_time_us < 0:
+            raise ValueError("think_time_us must be non-negative")
+        self.config = config or SsdConfig.scaled()
+        self.clients = clients
+        self.queue_depth = queue_depth
+        self.total_requests = total_requests
+        self.think_time_us = think_time_us
+        self.seed = seed
+        # Each client draws from its own independently seeded stream; the
+        # spec's own request budget is irrelevant (the source stops at
+        # total_requests), so size each stream to the worst case.
+        self._streams: List[Iterator[HostRequest]] = [
+            WorkloadSpec.coerce(
+                spec, num_requests=total_requests, seed=seed + client
+            ).iter_requests(self.config, footprint_pages=logical_pages)
+            for client in range(clients)
+        ]
+        self._owner: Dict[int, int] = {}
+        self.issued = 0
+        self.completed = 0
+
+    # -- the simulator-facing protocol ----------------------------------------
+    def start(self) -> List[HostRequest]:
+        """The initial window: ``queue_depth`` requests per client at t=0."""
+        initial = []
+        for _ in range(self.queue_depth):
+            for client in range(self.clients):
+                request = self._next_request(client, arrival_us=0.0)
+                if request is None:
+                    return initial
+                initial.append(request)
+        return initial
+
+    def on_complete(self, request: HostRequest,
+                    now_us: float) -> List[HostRequest]:
+        """The owning client's next request (if any) for one completion."""
+        self.completed += 1
+        client = self._owner.pop(request.request_id, None)
+        if client is None:
+            return []
+        followup = self._next_request(
+            client, arrival_us=now_us + self.think_time_us)
+        return [] if followup is None else [followup]
+
+    # -- internals -------------------------------------------------------------
+    def _next_request(self, client: int,
+                      arrival_us: float) -> Optional[HostRequest]:
+        if self.issued >= self.total_requests:
+            return None
+        template = next(self._streams[client], None)
+        if template is None:
+            return None
+        # The generator handed us a fresh object; re-stamp its arrival and
+        # tag the client so per-client latency is attributable downstream.
+        template.arrival_us = arrival_us
+        template.queue_id = client
+        self._owner[template.request_id] = client
+        self.issued += 1
+        return template

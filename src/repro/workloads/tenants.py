@@ -1,0 +1,194 @@
+"""Multi-tenant workload mixing for array-level simulations.
+
+A production array serves several tenants at once — a latency-sensitive
+key-value store sharing devices with a write-heavy log ingester — and the
+interesting questions (who owns the p99? does one tenant's GC churn spill
+into another's tail?) need per-tenant attribution.  :class:`TenantMix`
+composes any number of :class:`~repro.sim.spec.WorkloadSpec` streams into
+one arrival-ordered stream, tagging every request's ``queue_id`` with its
+tenant index so the metrics layer can keep a per-tenant latency histogram.
+
+Each tenant is confined to its own slice of the array's logical page space
+(sized proportionally to the tenant's footprint), so tenants never share
+data: one tenant's writes cannot refresh another tenant's cold pages, which
+keeps the per-tenant cold ratios — and therefore the read-retry behaviour —
+independent, exactly like namespaces on a shared device.
+
+The mix round-trips through plain dicts like every other spec object, so a
+fleet worker can rebuild the identical merged stream from a pickled payload
+instead of receiving materialized requests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.sim.spec import WorkloadSpec
+from repro.ssd.config import SsdConfig
+from repro.ssd.request import HostRequest
+
+
+@dataclass(frozen=True)
+class TenantMix:
+    """An arrival-ordered merge of per-tenant workload streams."""
+
+    tenants: Tuple[WorkloadSpec, ...]
+    #: Optional display names, parallel to ``tenants`` (default: the specs'
+    #: workload labels, disambiguated by tenant index).
+    names: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tenants", tuple(
+            WorkloadSpec.coerce(tenant) for tenant in self.tenants
+        ))
+        if not self.tenants:
+            raise ValueError("a TenantMix needs at least one tenant")
+        if self.names is not None:
+            object.__setattr__(self, "names", tuple(self.names))
+            if len(self.names) != len(self.tenants):
+                raise ValueError(
+                    f"{len(self.names)} names for {len(self.tenants)} tenants"
+                )
+
+    # -- identity --------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        return "+".join(self.tenant_names())
+
+    def tenant_names(self) -> Tuple[str, ...]:
+        if self.names is not None:
+            return self.names
+        return tuple(
+            f"{index}:{spec.label}" for index, spec in enumerate(self.tenants)
+        )
+
+    @property
+    def num_requests(self) -> int:
+        return sum(spec.num_requests for spec in self.tenants)
+
+    # -- stream generation -----------------------------------------------------
+    def _slices(self, logical_pages: int) -> Tuple[Tuple[int, int], ...]:
+        """Per-tenant (start, size) slices of the logical page space.
+
+        The space is divided into equal disjoint namespaces, one per tenant
+        (like NVMe namespaces on a shared device); each tenant's own
+        ``footprint_fraction`` then applies within its namespace.
+        """
+        size = logical_pages // len(self.tenants)
+        return tuple(
+            (index * size, size) for index in range(len(self.tenants))
+        )
+
+    def iter_requests(
+        self, config: SsdConfig, logical_pages: Optional[int] = None
+    ) -> Iterator[HostRequest]:
+        """Stream the merged mix, ordered by arrival time.
+
+        ``logical_pages`` overrides the addressable page count the tenant
+        slices are carved from (the fleet passes the *array's* logical size
+        here; a plain device run uses the config's own).  Each yielded
+        request carries its tenant index in ``queue_id``.
+        """
+        pages = config.logical_pages if logical_pages is None else logical_pages
+        streams = [
+            self._tagged(spec, config, index, start, size)
+            for index, (spec, (start, size)) in enumerate(
+                zip(self.tenants, self._slices(pages))
+            )
+        ]
+        return heapq.merge(*streams, key=lambda request: request.arrival_us)
+
+    @staticmethod
+    def _tagged(
+        spec: WorkloadSpec,
+        config: SsdConfig,
+        tenant: int,
+        start: int,
+        namespace_pages: int,
+    ) -> Iterator[HostRequest]:
+        for request in spec.iter_requests(config,
+                                          footprint_pages=namespace_pages):
+            request.queue_id = tenant
+            request.start_lpn += start
+            yield request
+
+    # -- rate scaling (capacity search) ---------------------------------------
+    def total_arrival_rate_rps(self, default_interarrival_us: float) -> float:
+        """The mix's aggregate arrival rate in requests per second."""
+        return sum(
+            1e6 / (spec.mean_interarrival_us or default_interarrival_us)
+            for spec in self.tenants
+        )
+
+    def with_arrival_rate(
+        self, total_rps: float, default_interarrival_us: float
+    ) -> "TenantMix":
+        """A copy whose aggregate rate is ``total_rps``.
+
+        Every tenant's arrival rate is scaled by the same factor, so the
+        mix's composition (relative tenant load) is preserved — the knob the
+        SLO capacity search bisects.
+        """
+        if total_rps <= 0:
+            raise ValueError("total_rps must be positive")
+        current = self.total_arrival_rate_rps(default_interarrival_us)
+        factor = total_rps / current
+        scaled = tuple(
+            WorkloadSpec.coerce(
+                spec,
+                mean_interarrival_us=(
+                    spec.mean_interarrival_us or default_interarrival_us
+                ) / factor,
+            )
+            for spec in self.tenants
+        )
+        return TenantMix(tenants=scaled, names=self.names)
+
+    # -- manifest round-trip ---------------------------------------------------
+    def to_dict(self) -> dict:
+        payload = {"tenants": [spec.to_dict() for spec in self.tenants]}
+        if self.names is not None:
+            payload["names"] = list(self.names)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TenantMix":
+        return cls(
+            tenants=tuple(
+                WorkloadSpec.from_dict(spec) for spec in payload["tenants"]
+            ),
+            names=(
+                tuple(payload["names"]) if payload.get("names") else None
+            ),
+        )
+
+    @classmethod
+    def coerce(cls, value, num_requests: Optional[int] = None,
+               seed: Optional[int] = None) -> "TenantMix":
+        """Build a mix from a mix, a spec, names, or a dict.
+
+        Tenants built from names/shapes are seeded ``seed + index`` so
+        their streams are independent — one shared seed would make
+        same-name tenants emit bitwise-identical, lockstep request
+        sequences (a synchronized-burst pathology, not a mix).  Ready
+        :class:`WorkloadSpec` objects keep their own seeds untouched.
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, dict) and "tenants" in value:
+            return cls.from_dict(value)
+        if not isinstance(value, (tuple, list)):
+            value = (value,)
+        base_seed = 0 if seed is None else seed
+        tenants = []
+        for index, item in enumerate(value):
+            if isinstance(item, WorkloadSpec):
+                tenants.append(WorkloadSpec.coerce(
+                    item, num_requests=num_requests))
+            else:
+                tenants.append(WorkloadSpec.coerce(
+                    item, num_requests=num_requests,
+                    seed=base_seed + index))
+        return cls(tenants=tuple(tenants))

@@ -1,0 +1,160 @@
+"""Closed-loop load generation: clients with a fixed queue depth."""
+
+import pytest
+
+from repro.sim import Simulation
+from repro.sim.spec import WorkloadSpec
+from repro.ssd.config import SsdConfig
+from repro.ssd.controller import SsdSimulator
+from repro.workloads.closed_loop import ClosedLoopSource
+
+CONFIG = SsdConfig.tiny()
+
+
+def _source(**kwargs):
+    defaults = dict(clients=3, queue_depth=2, total_requests=60, seed=1)
+    defaults.update(kwargs)
+    return ClosedLoopSource("ycsb-c", config=CONFIG, **defaults)
+
+
+class TestClosedLoopSource:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _source(clients=0)
+        with pytest.raises(ValueError):
+            _source(queue_depth=0)
+        with pytest.raises(ValueError):
+            _source(total_requests=0)
+        with pytest.raises(ValueError):
+            _source(think_time_us=-1.0)
+
+    def test_start_issues_full_window(self):
+        source = _source(clients=3, queue_depth=2)
+        initial = source.start()
+        assert len(initial) == 6
+        assert {request.queue_id for request in initial} == {0, 1, 2}
+        assert all(request.arrival_us == 0.0 for request in initial)
+
+    def test_start_respects_total_budget(self):
+        source = _source(clients=4, queue_depth=4, total_requests=5)
+        assert len(source.start()) == 5
+
+    def test_completion_triggers_owning_client(self):
+        source = _source(think_time_us=25.0)
+        first = source.start()[0]
+        followups = source.on_complete(first, now_us=100.0)
+        assert len(followups) == 1
+        assert followups[0].queue_id == first.queue_id
+        assert followups[0].arrival_us == 125.0
+
+    def test_foreign_completion_is_ignored(self):
+        source = _source()
+        source.start()
+        from repro.ssd.request import HostRequest, RequestKind
+
+        foreign = HostRequest(arrival_us=0.0, kind=RequestKind.READ,
+                              start_lpn=0)
+        assert source.on_complete(foreign, now_us=1.0) == []
+
+
+class TestClosedLoopRun:
+    def test_run_completes_exact_budget(self):
+        simulator = SsdSimulator(CONFIG, policy="PnAR2")
+        simulator.precondition(pe_cycles=1000, retention_months=6.0)
+        result = simulator.run_closed_loop(_source(total_requests=80))
+        metrics = result.metrics
+        assert metrics.host_reads + metrics.host_writes == 80
+        assert metrics.mean_response_time_us() > 0
+
+    def test_runs_are_deterministic(self):
+        def one_run():
+            simulator = SsdSimulator(CONFIG, policy="Baseline")
+            simulator.precondition(pe_cycles=1000, retention_months=6.0)
+            return simulator.run_closed_loop(_source())
+
+        first, second = one_run(), one_run()
+        assert (first.metrics.latency("all").to_dict()
+                == second.metrics.latency("all").to_dict())
+
+    def test_queue_depth_bounds_outstanding_requests(self):
+        # With queue depth 1 and zero think time each client's requests
+        # are strictly sequential: the next arrival equals a completion
+        # time, so no two requests of one client ever overlap.
+        source = _source(clients=2, queue_depth=1, total_requests=40)
+        simulator = SsdSimulator(CONFIG, policy="Baseline")
+        simulator.precondition(pe_cycles=1000, retention_months=6.0)
+
+        outstanding = {0: 0, 1: 0}
+        original_next = source._next_request
+
+        def tracking_next(client, arrival_us):
+            request = original_next(client, arrival_us)
+            if request is not None:
+                outstanding[client] += 1
+                assert outstanding[client] <= 1
+            return request
+
+        original_complete = source.on_complete
+
+        def tracking_complete(request, now_us):
+            outstanding[request.queue_id] -= 1
+            return original_complete(request, now_us)
+
+        source._next_request = tracking_next
+        source.on_complete = tracking_complete
+        for request in source.start():
+            simulator.inject(request)
+        simulator.on_request_complete = (
+            lambda request, now: [simulator.inject(followup)
+                                  for followup in tracking_complete(request,
+                                                                    now)])
+        simulator.events.run()
+        assert source.issued == 40
+
+    def test_higher_queue_depth_increases_throughput(self):
+        def wall_time(queue_depth):
+            simulator = SsdSimulator(CONFIG, policy="Baseline")
+            simulator.precondition(pe_cycles=1000, retention_months=6.0)
+            result = simulator.run_closed_loop(
+                _source(clients=2, queue_depth=queue_depth,
+                        total_requests=80))
+            return result.metrics.simulated_time_us
+
+        assert wall_time(4) < wall_time(1)
+
+    def test_think_time_slows_the_loop_down(self):
+        def wall_time(think):
+            simulator = SsdSimulator(CONFIG, policy="Baseline")
+            simulator.precondition(pe_cycles=1000, retention_months=6.0)
+            result = simulator.run_closed_loop(
+                _source(clients=1, queue_depth=1, total_requests=30,
+                        think_time_us=think))
+            return result.metrics.simulated_time_us
+
+        assert wall_time(5000.0) > wall_time(0.0)
+
+    def test_session_builder_closed_loop(self):
+        run = (Simulation(CONFIG).policy("PnAR2")
+               .workload("ycsb-c", n=100, seed=5)
+               .condition(pec=1000, months=6.0)
+               .closed_loop(clients=3, queue_depth=2, total_requests=50)
+               .run())
+        metrics = run.result.metrics
+        assert metrics.host_reads + metrics.host_writes == 50
+        assert set(metrics.tenant_latency) <= {0, 1, 2}
+        assert "closed_loop" in run.manifest
+
+    def test_closed_loop_rejects_fleet(self):
+        simulation = (Simulation(CONFIG).policy("Baseline")
+                      .workload("usr_1", n=20)
+                      .fleet(2).closed_loop())
+        with pytest.raises(ValueError, match="single device"):
+            simulation.run()
+
+    def test_closed_loop_needs_a_workload(self):
+        spec = WorkloadSpec(name="usr_1", num_requests=10)
+        requests = spec.build_requests(CONFIG)
+        simulation = (Simulation(CONFIG).policy("Baseline")
+                      .requests(requests).closed_loop())
+        with pytest.raises(ValueError, match="workload"):
+            simulation.run()

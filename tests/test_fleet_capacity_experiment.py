@@ -1,0 +1,75 @@
+"""The registered fleet_capacity experiment and its CLI surface."""
+
+import pytest
+
+from repro.experiments.api import default_experiment_registry
+from repro.experiments.runner import main as cli_main, run_experiment
+
+#: Small enough for a unit test, large enough to bracket and converge.
+FAST_OVERRIDES = dict(devices=2, replication=1, tenants=("usr_1",),
+                      num_requests=120, policies=("PnAR2",),
+                      target_p99_us=20_000.0, tolerance=0.2, max_probes=6)
+
+
+def test_registered_with_system_tag():
+    registry = default_experiment_registry()
+    entry = registry.entry("fleet_capacity")
+    assert "system" in entry.tags
+    assert "fleet" in entry.tags
+    assert "fleet_capacity" in registry.names(tag="system")
+
+
+@pytest.mark.parametrize("profile", ["full", "fast", "smoke"])
+def test_profiles_resolve(profile):
+    entry = default_experiment_registry().entry("fleet_capacity")
+    params = entry.resolve_params(profile=profile)
+    assert params["devices"] >= 1
+    assert params["target_p99_us"] > 0
+    assert 1 <= params["replication"] <= params["devices"]
+
+
+def test_smoke_run_converges_within_documented_tolerance():
+    result = run_experiment("fleet_capacity", profile="smoke",
+                            num_requests=120, max_probes=8)
+    assert any("converged" in key and value is True
+               for key, value in result.headline.items())
+    probe_rows = [row for row in result.rows if row["kind"] == "probe"]
+    assert probe_rows
+    meeting = [row["rate_rps"] for row in probe_rows if row["meets_slo"]]
+    violating = [row["rate_rps"] for row in probe_rows
+                 if not row["meets_slo"]]
+    assert meeting and violating
+    # Convergence criterion: the sustainable/violating bracket is within
+    # the profile's documented tolerance (smoke: 10%).
+    assert min(violating) / max(meeting) <= 1.10 + 1e-9
+    device_rows = [row for row in result.rows if row["kind"] == "device"]
+    assert [row["device"] for row in device_rows] == [0, 1]
+
+
+def test_serial_and_parallel_rows_are_bitwise_identical():
+    serial = run_experiment("fleet_capacity", processes=1, **FAST_OVERRIDES)
+    parallel = run_experiment("fleet_capacity", processes=2, **FAST_OVERRIDES)
+    assert serial.rows == parallel.rows
+    assert serial.headline == parallel.headline
+
+
+def test_cli_run_smoke_profile(capsys, tmp_path):
+    exit_code = cli_main([
+        "run", "fleet_capacity", "--profile", "smoke", "--no-cache",
+        "--set", "num_requests=100", "--set", "max_probes=5",
+        "--set", "tolerance=0.3",
+    ])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "fleet_capacity [smoke]" in output
+    assert "capacity" in output
+
+
+def test_rows_share_one_column_set():
+    result = run_experiment("fleet_capacity", **FAST_OVERRIDES)
+    columns = set(result.columns())
+    for row in result.rows:
+        assert set(row) == columns
+    # Exports must therefore serialize cleanly.
+    assert result.to_csv().startswith("policy,")
+    assert result.to_json()
