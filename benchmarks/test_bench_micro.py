@@ -98,3 +98,31 @@ def test_bench_simulator_throughput(benchmark, bench_rpt):
 
     result = benchmark.pedantic(run_simulation, iterations=1, rounds=3)
     assert result.metrics.host_reads > 150
+
+
+def test_bench_dftl_steady_state(benchmark, bench_rpt):
+    """Write-heavy page-mapped run that drives the DFTL into GC steady state.
+
+    Tracks the cost of the full wear-dynamics path: CMT misses with
+    translation-page traffic, GC victim selection/relocation and the
+    per-read condition lookups against GC-diversified blocks.
+    """
+    config = SsdConfig(channels=2, dies_per_channel=1, planes_per_die=1,
+                       blocks_per_plane=12, pages_per_block=24,
+                       write_buffer_pages=16, mapping="page",
+                       cmt_capacity_entries=64,
+                       translation_entries_per_page=32,
+                       gc_free_block_threshold=3, gc_stop_free_blocks=5)
+    footprint = int(config.logical_pages * 0.5)
+
+    def run_simulation():
+        simulator = SsdSimulator(config, policy="PnAR2", rpt=bench_rpt)
+        simulator.precondition(pe_cycles=1000, retention_months=6.0,
+                               fill_fraction=0.6)
+        requests = generate_workload("stg_0", 300, footprint, seed=1,
+                                     mean_interarrival_us=500.0)
+        return simulator.run(requests)
+
+    result = benchmark.pedantic(run_simulation, iterations=1, rounds=3)
+    assert result.metrics.gc_invocations > 0
+    assert result.metrics.translation_writes > 0

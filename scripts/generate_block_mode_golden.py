@@ -1,0 +1,72 @@
+"""Regenerate the block-mapping golden fixture (tests/data/block_mode_golden.json).
+
+The DFTL work added a ``mapping="block" | "page"`` switch to ``SsdConfig``
+with the contract that the default block mapping stays *bitwise identical*
+to the pre-DFTL simulator.  This script captures the ground truth: a
+smoke-scale (workload x condition x policy) sweep plus the per-cell metric
+summaries, serialized exactly as produced.  ``tests/test_block_mode_golden.py``
+replays the same grid and compares every value that existed when the
+fixture was captured (new columns added later are ignored by the guard).
+
+Run from the repository root:
+
+    PYTHONPATH=src python scripts/generate_block_mode_golden.py
+
+Only regenerate the fixture for an *intentional* behaviour change to the
+block-mapping path, and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.sim.sweep import SweepRunner
+from repro.ssd.config import SsdConfig
+
+FIXTURE_PATH = Path(__file__).resolve().parent.parent / "tests" / "data" / "block_mode_golden.json"
+
+#: One read-dominant and one write-dominant Table 2 workload, fresh and aged
+#: conditions, the four headline policies — the smoke-suite shape.
+WORKLOADS = ("usr_1", "stg_0")
+CONDITIONS = ((0, 0.0), (1000, 6.0))
+POLICIES = ("Baseline", "PR2", "AR2", "PnAR2")
+NUM_REQUESTS = 120
+SEED = 0
+
+
+def capture() -> dict:
+    config = SsdConfig.scaled(blocks_per_plane=24, pages_per_block=48)
+    runner = SweepRunner(config=config)
+    sweep = runner.run(
+        policies=POLICIES,
+        workloads=WORKLOADS,
+        conditions=CONDITIONS,
+        num_requests=NUM_REQUESTS,
+        seed=SEED,
+    )
+    summaries = {}
+    for (workload, pe_cycles, months), cell in sorted(sweep.cells.items()):
+        for policy, result in cell.items():
+            summaries[f"{workload}|{pe_cycles}|{months}|{policy}"] = result.metrics.summary()
+    return {
+        "workloads": list(WORKLOADS),
+        "conditions": [list(condition) for condition in CONDITIONS],
+        "policies": list(POLICIES),
+        "num_requests": NUM_REQUESTS,
+        "seed": SEED,
+        "config": {"blocks_per_plane": 24, "pages_per_block": 48},
+        "rows": sweep.rows,
+        "summaries": summaries,
+    }
+
+
+def main() -> None:
+    fixture = capture()
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE_PATH.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {FIXTURE_PATH} ({len(fixture['rows'])} rows)")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,8 +21,8 @@ by.
 >>> from repro.experiments.api import default_experiment_registry
 >>> registry = default_experiment_registry()
 >>> registry.names(tag="system")  # doctest: +NORMALIZE_WHITESPACE
-('fig14', 'fig15', 'tail_latency', 'fleet_capacity', 'ablation_rpt',
- 'ablation_scheduling', 'ablation_extensions')
+('fig14', 'fig15', 'tail_latency', 'fleet_capacity', 'wear_dynamics',
+ 'ablation_rpt', 'ablation_scheduling', 'ablation_extensions')
 >>> registry.entry("fig05").params.resolve(profile="fast")["num_chips"]
 4
 """
@@ -416,7 +416,7 @@ def register_experiment(name: Optional[str] = None, *,
 EXPERIMENT_MODULES = (
     "table1", "table2", "fig04b", "fig05", "fig07", "fig08", "fig09",
     "fig10", "fig11", "fig14", "fig15", "tail_latency", "fleet_capacity",
-    "ablation",
+    "wear_dynamics", "ablation",
 )
 
 

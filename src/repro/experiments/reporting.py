@@ -20,7 +20,10 @@ from typing import Dict, List, Mapping, Optional
 #: bumping it invalidates all stored artifacts at once.  Version 2: sweep
 #: rows and metric summaries carry tail-latency columns (p99/p999), and
 #: percentiles are histogram estimates rather than exact order statistics.
-SCHEMA_VERSION = 2
+#: Version 3: sweep rows and metric summaries carry the wear-dynamics
+#: columns (write_amplification, mapping_cache_hit_rate, gc_invocations,
+#: translation_reads/writes) introduced with the DFTL page mapping.
+SCHEMA_VERSION = 3
 
 
 def jsonify(value):

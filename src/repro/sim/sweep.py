@@ -187,6 +187,13 @@ def rows_from_cells(workloads: Sequence[WorkloadSpec],
                         metrics.mean_response_time_us(), 2),
                     "p99_response_us": round(combined.p99(), 2),
                     "p999_response_us": round(combined.p999(), 2),
+                    "write_amplification": round(
+                        metrics.write_amplification(), 4),
+                    "mapping_cache_hit_rate": round(
+                        metrics.mapping_cache_hit_rate(), 4),
+                    "gc_invocations": metrics.gc_invocations,
+                    "translation_reads": metrics.translation_reads,
+                    "translation_writes": metrics.translation_writes,
                 })
     return rows
 

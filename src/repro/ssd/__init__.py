@@ -12,6 +12,9 @@ reproduces the read-retry behaviour of a real characterized block
 * :mod:`repro.ssd.ftl` — page-level address mapping, block allocation and
   wear-aware free-block selection.
 * :mod:`repro.ssd.gc` — greedy garbage collection.
+* :mod:`repro.ssd.dftl` — DFTL-class page-mapped FTL (``mapping="page"``):
+  cached mapping table, on-flash translation pages and watermark-driven GC
+  with real wear dynamics.
 * :mod:`repro.ssd.write_buffer` — the controller's write cache.
 * :mod:`repro.ssd.flash_backend` — per-block read-retry profiles derived from
   the calibrated error model (the "each simulated block behaves like a real
@@ -25,6 +28,7 @@ reproduces the read-retry behaviour of a real characterized block
 """
 
 from repro.ssd.config import SsdConfig
+from repro.ssd.dftl import DftlMapper
 from repro.ssd.request import HostRequest, RequestKind
 from repro.ssd.metrics import SimulationMetrics
 from repro.ssd.controller import SsdSimulator, SimulationResult
@@ -32,6 +36,7 @@ from repro.ssd.retry_grid import RetryStepGrid
 
 __all__ = [
     "SsdConfig",
+    "DftlMapper",
     "HostRequest",
     "RequestKind",
     "SimulationMetrics",

@@ -40,6 +40,25 @@ class SsdConfig:
     #: Garbage collection starts when a plane's free blocks drop below this.
     gc_free_block_threshold: int = 4
 
+    #: Address-mapping scheme.  ``"block"`` (the default) is the original
+    #: flat in-DRAM page table: no translation traffic, behaviour bitwise
+    #: identical to the pre-DFTL simulator.  ``"page"`` enables the
+    #: DFTL-class demand-paged mapping (:mod:`repro.ssd.dftl`): a cached
+    #: mapping table backed by translation pages on flash, watermark-driven
+    #: garbage collection and wear-created P/E-cycle diversity.
+    mapping: str = "block"
+
+    #: Cached-mapping-table capacity in LPN entries (``mapping="page"``).
+    cmt_capacity_entries: int = 4096
+
+    #: LPN-to-PPN entries per translation page (``mapping="page"``).
+    translation_entries_per_page: int = 512
+
+    #: ``mapping="page"`` garbage collection, once triggered (free blocks
+    #: below ``gc_free_block_threshold``), keeps collecting victims until a
+    #: plane's free pool recovers to this stop watermark.
+    gc_stop_free_blocks: int = 6
+
     #: Whether the controller prioritizes reads over writes at each die
     #: (out-of-order I/O scheduling, [36, 86]).
     read_priority: bool = True
@@ -64,6 +83,14 @@ class SsdConfig:
             raise ValueError("overprovisioning must be in [0, 0.5)")
         if self.gc_free_block_threshold < 2:
             raise ValueError("gc_free_block_threshold must be at least 2")
+        if self.mapping not in ("block", "page"):
+            raise ValueError('mapping must be "block" or "page"')
+        for name in ("cmt_capacity_entries", "translation_entries_per_page"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.gc_stop_free_blocks < self.gc_free_block_threshold:
+            raise ValueError(
+                "gc_stop_free_blocks must be at least gc_free_block_threshold")
 
     # -- derived sizes ------------------------------------------------------------
     @property
@@ -140,6 +167,10 @@ class SsdConfig:
             "overprovisioning": self.overprovisioning,
             "write_buffer_pages": self.write_buffer_pages,
             "gc_free_block_threshold": self.gc_free_block_threshold,
+            "mapping": self.mapping,
+            "cmt_capacity_entries": self.cmt_capacity_entries,
+            "translation_entries_per_page": self.translation_entries_per_page,
+            "gc_stop_free_blocks": self.gc_stop_free_blocks,
             "read_priority": self.read_priority,
             "suspension": self.suspension,
             "temperature_c": self.temperature_c,

@@ -12,7 +12,11 @@ paper's evaluation:
   that into latency and die-occupancy numbers;
 * writes are absorbed by the write buffer and flushed to flash through the
   page-mapping FTL, with greedy garbage collection keeping free blocks
-  available;
+  available; with ``mapping="page"`` the DFTL mapper
+  (:mod:`repro.ssd.dftl`) replaces the flat table — CMT misses and dirty
+  evictions inject translation-page reads/programs on the same dies as
+  host traffic, and GC runs with trigger/stop watermarks and batched
+  translation updates;
 * response times and utilization are collected in
   :class:`repro.ssd.metrics.SimulationMetrics`.
 
@@ -47,6 +51,7 @@ from repro.core.policies import ReadRetryPolicy, get_policy
 from repro.core.rpt import ReadTimingParameterTable
 from repro.errors.condition import OperatingCondition
 from repro.ssd.config import SsdConfig
+from repro.ssd.dftl import DftlMapper, TranslationOp
 from repro.ssd.engine import EventQueue
 from repro.ssd.flash_backend import FlashBackend
 from repro.ssd.ftl import FlashTranslationLayer, PhysicalPage
@@ -135,8 +140,16 @@ class SsdSimulator:
         if shared_rpt is None and self.policy.uses_reduced_timing:
             shared_rpt = self.policy.rpt
         self.events = EventQueue()
-        self.ftl = FlashTranslationLayer(self.config)
-        self.gc = GarbageCollector(self.ftl)
+        # mapping="block" keeps the original flat page table + greedy GC;
+        # mapping="page" swaps in the DFTL mapper (CMT/GTD/watermark GC).
+        if self.config.mapping == "page":
+            self.dftl: Optional[DftlMapper] = DftlMapper(self.config)
+            self.ftl = None
+            self.gc = None
+        else:
+            self.dftl = None
+            self.ftl = FlashTranslationLayer(self.config)
+            self.gc = GarbageCollector(self.ftl)
         self.write_buffer = WriteBuffer(self.config.write_buffer_pages)
         self.backend = FlashBackend(self.config, rpt=shared_rpt)
         self.metrics = SimulationMetrics(record_samples=record_samples)
@@ -170,6 +183,17 @@ class SsdSimulator:
         self.on_request_complete: Optional[
             Callable[[HostRequest, float], None]] = None
 
+    @property
+    def distinct_read_conditions(self) -> int:
+        """How many distinct (P/E, retention) conditions reads have seen.
+
+        Under ``mapping="block"`` this is at most two (preconditioned cold
+        data and fresh rewrites); live DFTL garbage collection erodes that
+        uniformity, and this counter is how the wear_dynamics experiment
+        shows the condition diversity GC creates.
+        """
+        return len(self._condition_cache)
+
     # -- preconditioning ------------------------------------------------------------
     def precondition(self, pe_cycles: int = 0, retention_months: float = 0.0,
                      fill_fraction: float = 0.85) -> None:
@@ -185,9 +209,14 @@ class SsdSimulator:
         if not 0.0 < fill_fraction <= 1.0:
             raise ValueError("fill_fraction must be in (0, 1]")
         pages_to_fill = int(self.config.logical_pages * fill_fraction)
-        for lpn in range(pages_to_fill):
-            self.ftl.write(lpn, retention_months=retention_months)
-        self.ftl.set_uniform_pe_cycles(pe_cycles)
+        if self.dftl is not None:
+            self.dftl.precondition_fill(pages_to_fill,
+                                        retention_months=retention_months,
+                                        pe_cycles=pe_cycles)
+        else:
+            for lpn in range(pages_to_fill):
+                self.ftl.write(lpn, retention_months=retention_months)
+            self.ftl.set_uniform_pe_cycles(pe_cycles)
         self._cold_retention_months = retention_months
         self._preconditioned_pe_cycles = pe_cycles
         # Most reads of the run see the cold preconditioned data; vectorize
@@ -292,6 +321,13 @@ class SsdSimulator:
             self.metrics.record_die_busy(key, scheduler.total_busy_us)
         self.metrics.grid_hits = self.backend.grid_hits
         self.metrics.scalar_fallbacks = self.backend.scalar_fallbacks
+        if self.dftl is not None:
+            # Translation reads/writes are counted at enqueue time; the
+            # mapper-internal cache and GC counters are snapshotted here,
+            # mirroring the backend's grid counters.
+            self.metrics.mapping_cache_hits = self.dftl.cmt_hits
+            self.metrics.mapping_cache_misses = self.dftl.cmt_misses
+            self.metrics.gc_invocations = self.dftl.gc_invocations
         return SimulationResult(
             policy_name=self.policy.name,
             config=self.config,
@@ -349,6 +385,15 @@ class SsdSimulator:
     def _physical_for_read(self, lpn: int) -> PhysicalPage:
         """Resolve a read target, lazily mapping never-written cold data."""
         lpn = lpn % self.config.logical_pages
+        if self.dftl is not None:
+            physical, ops = self.dftl.lookup(lpn, self.events.now_us)
+            self._issue_translation_ops(ops)
+            if physical is None:
+                physical, _, more = self.dftl.write(
+                    lpn, retention_months=self._cold_retention_months,
+                    now_us=self.events.now_us)
+                self._issue_translation_ops(more)
+            return physical
         physical = self.ftl.lookup(lpn)
         if physical is None:
             # The workload reads data that was written before the trace
@@ -378,7 +423,12 @@ class SsdSimulator:
             self.on_request_complete(request, now)
 
     def _issue_program(self, lpn: int, request: Optional[HostRequest]) -> None:
-        physical, _ = self.ftl.write(lpn, retention_months=0.0)
+        if self.dftl is not None:
+            physical, _, ops = self.dftl.write(
+                lpn, retention_months=0.0, now_us=self.events.now_us)
+            self._issue_translation_ops(ops)
+        else:
+            physical, _ = self.ftl.write(lpn, retention_months=0.0)
         self.metrics.host_programs += 1
         transaction = FlashTransaction(
             kind=TransactionKind.PROGRAM, lpn=lpn,
@@ -387,30 +437,64 @@ class SsdSimulator:
             issue_us=self.events.now_us, request=request)
         self.schedulers[physical.die_key()].enqueue(transaction)
 
+    def _issue_translation_ops(self, ops: Sequence[TranslationOp]) -> None:
+        """Schedule DFTL translation-page traffic as real flash transactions."""
+        for op in ops:
+            if op.kind == "read":
+                kind = TransactionKind.TRANS_READ
+                self.metrics.translation_reads += 1
+            else:
+                kind = TransactionKind.TRANS_PROGRAM
+                self.metrics.translation_writes += 1
+            physical = op.physical
+            transaction = FlashTransaction(
+                kind=kind, lpn=None, channel=physical.channel,
+                die=physical.die, plane=physical.plane, block=physical.block,
+                page=physical.page, issue_us=self.events.now_us, request=None)
+            self.schedulers[physical.die_key()].enqueue(transaction)
+
     # -- flash service times -----------------------------------------------------------------
     def _service_time(self, transaction: FlashTransaction) -> float:
         timing = self.config.timing
         if transaction.kind in (TransactionKind.PROGRAM,
-                                TransactionKind.GC_PROGRAM):
+                                TransactionKind.GC_PROGRAM,
+                                TransactionKind.TRANS_PROGRAM):
             return timing.t_dma_page_us + timing.t_prog_us
         if transaction.kind is TransactionKind.ERASE:
             return timing.t_bers_us
+        if transaction.kind is TransactionKind.TRANS_READ:
+            # Translation pages are hot, constantly rewritten metadata: they
+            # read at default timing with no retry walk — one sensing pass
+            # for the page type plus transfer and decode.
+            page_type = self.dftl.page_type_of(
+                PhysicalPage(transaction.channel, transaction.die,
+                             transaction.plane, transaction.block,
+                             transaction.page))
+            return (timing.read.sensing_latency_us(page_type)
+                    + timing.t_dma_page_us + timing.t_ecc_us)
         return self._read_service_time(transaction)
 
     def _read_service_time(self, transaction: FlashTransaction) -> float:
         physical = PhysicalPage(transaction.channel, transaction.die,
                                 transaction.plane, transaction.block,
                                 transaction.page)
-        metadata = self.ftl.block_metadata(physical)
-        page_type = self.ftl.page_type_of(physical)
-        retention = metadata.page_retention_months[transaction.page]
+        if self.dftl is not None:
+            pe_cycles = self.dftl.pe_cycles_of(physical)
+            page_type = self.dftl.page_type_of(physical)
+            retention = self.dftl.retention_months_of(physical,
+                                                      self.events.now_us)
+        else:
+            metadata = self.ftl.block_metadata(physical)
+            pe_cycles = metadata.pe_cycles
+            page_type = self.ftl.page_type_of(physical)
+            retention = metadata.page_retention_months[transaction.page]
         behaviour = self.backend.read_behaviour(
-            physical, page_type, metadata.pe_cycles, retention)
-        condition_key = (metadata.pe_cycles, retention)
+            physical, page_type, pe_cycles, retention)
+        condition_key = (pe_cycles, retention)
         condition = self._condition_cache.get(condition_key)
         if condition is None:
             condition = OperatingCondition(
-                pe_cycles=metadata.pe_cycles, retention_months=retention,
+                pe_cycles=pe_cycles, retention_months=retention,
                 temperature_c=self.config.temperature_c)
             self._condition_cache[condition_key] = condition
 
@@ -485,6 +569,9 @@ class SsdSimulator:
 
     # -- garbage collection ------------------------------------------------------------------------
     def _run_gc_if_needed(self) -> None:
+        if self.dftl is not None:
+            self._run_dftl_gc_if_needed()
+            return
         operations = self.gc.collect_if_needed()
         for operation in operations:
             plane = self.ftl.planes[operation.plane_index]
@@ -494,6 +581,21 @@ class SsdSimulator:
                 self._enqueue_gc_transaction(TransactionKind.GC_PROGRAM,
                                              destination)
                 self.metrics.gc_programs += 1
+            erase_target = PhysicalPage(plane.channel, plane.die, plane.plane,
+                                        operation.victim_block, 0)
+            self._enqueue_gc_transaction(TransactionKind.ERASE, erase_target)
+            self.metrics.gc_erases += 1
+
+    def _run_dftl_gc_if_needed(self) -> None:
+        for operation in self.dftl.collect_if_needed(self.events.now_us):
+            plane = self.dftl.planes[operation.plane_index]
+            for source, destination in zip(operation.relocations,
+                                           operation.destinations):
+                self._enqueue_gc_transaction(TransactionKind.GC_READ, source)
+                self._enqueue_gc_transaction(TransactionKind.GC_PROGRAM,
+                                             destination)
+                self.metrics.gc_programs += 1
+            self._issue_translation_ops(operation.translation_ops)
             erase_target = PhysicalPage(plane.channel, plane.die, plane.plane,
                                         operation.victim_block, 0)
             self._enqueue_gc_transaction(TransactionKind.ERASE, erase_target)

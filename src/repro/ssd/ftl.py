@@ -95,7 +95,8 @@ class PlaneManager:
         if not self._free_blocks:
             raise RuntimeError(
                 f"plane ({self.channel},{self.die},{self.plane}) ran out of "
-                "free blocks; garbage collection fell behind")
+                "free blocks; garbage collection fell behind"
+            )
         # Wear leveling: pick the free block with the lowest P/E-cycle count.
         self._free_blocks.sort(key=lambda block_id: self.blocks[block_id].pe_cycles)
         self._active_block = self._free_blocks.pop(0)
@@ -113,8 +114,7 @@ class PlaneManager:
         block.page_retention_months[page] = retention_months
         block.next_free_page += 1
         block.valid_count += 1
-        return PhysicalPage(self.channel, self.die, self.plane,
-                            self._active_block, page)
+        return PhysicalPage(self.channel, self.die, self.plane, self._active_block, page)
 
     def invalidate(self, block_id: int, page: int) -> None:
         block = self.blocks[block_id]
@@ -138,15 +138,12 @@ class PlaneManager:
     # -- GC victim selection ------------------------------------------------------------
     def gc_victim(self) -> Optional[int]:
         """Block with the most invalid pages among the full blocks (greedy)."""
-        candidates = [block_id for block_id in self._filled_blocks
-                      if self.blocks[block_id].is_full]
-        if (self._active_block is not None
-                and self.blocks[self._active_block].is_full):
+        candidates = [block_id for block_id in self._filled_blocks if self.blocks[block_id].is_full]
+        if self._active_block is not None and self.blocks[self._active_block].is_full:
             candidates.append(self._active_block)
         if not candidates:
             return None
-        return max(candidates,
-                   key=lambda block_id: self.blocks[block_id].invalid_count)
+        return max(candidates, key=lambda block_id: self.blocks[block_id].invalid_count)
 
     def set_pe_cycles(self, pe_cycles: int) -> None:
         for block in self.blocks:
@@ -168,12 +165,10 @@ class FlashTranslationLayer:
 
     # -- lookups -----------------------------------------------------------------------
     def plane_index(self, channel: int, die: int, plane: int) -> int:
-        return ((channel * self.config.dies_per_channel + die)
-                * self.config.planes_per_die + plane)
+        return (channel * self.config.dies_per_channel + die) * self.config.planes_per_die + plane
 
     def plane_for(self, physical: PhysicalPage) -> PlaneManager:
-        return self.planes[self.plane_index(physical.channel, physical.die,
-                                            physical.plane)]
+        return self.planes[self.plane_index(physical.channel, physical.die, physical.plane)]
 
     def lookup(self, lpn: int) -> Optional[PhysicalPage]:
         """Physical location of a logical page (``None`` if never written)."""
@@ -200,8 +195,9 @@ class FlashTranslationLayer:
         return self.block_metadata(physical).pe_cycles
 
     # -- updates -------------------------------------------------------------------------
-    def write(self, lpn: int, retention_months: float = 0.0,
-              plane_index: int = None) -> Tuple[PhysicalPage, Optional[PhysicalPage]]:
+    def write(
+        self, lpn: int, retention_months: float = 0.0, plane_index: int = None
+    ) -> Tuple[PhysicalPage, Optional[PhysicalPage]]:
         """Map ``lpn`` to a newly allocated page.
 
         :return: ``(new_physical_page, invalidated_physical_page_or_None)``.
@@ -210,8 +206,7 @@ class FlashTranslationLayer:
             raise ValueError(f"LPN {lpn} outside the logical space")
         old_physical = self.lookup(lpn)
         if old_physical is not None:
-            self.plane_for(old_physical).invalidate(old_physical.block,
-                                                    old_physical.page)
+            self.plane_for(old_physical).invalidate(old_physical.block, old_physical.page)
         if plane_index is None:
             plane_index = self._next_plane
             self._next_plane = (self._next_plane + 1) % len(self.planes)
@@ -236,5 +231,4 @@ class FlashTranslationLayer:
         return sum(plane.free_block_count for plane in self.planes)
 
     def planes_needing_gc(self) -> List[int]:
-        return [index for index, plane in enumerate(self.planes)
-                if plane.needs_gc()]
+        return [index for index, plane in enumerate(self.planes) if plane.needs_gc()]

@@ -240,6 +240,28 @@ class SimulationMetrics:
     compatibility properties raise.
     """
 
+    #: Every scalar counter :meth:`merge` folds by summation — fleet and
+    #: sweep aggregation iterate this tuple, so a counter added to
+    #: ``__init__`` but not listed here would silently stay zero on merged
+    #: results.  ``tests/test_ssd_metrics.py`` cross-checks the tuple
+    #: against the collector's actual integer attributes.
+    COUNTER_FIELDS = (
+        "pages_read",
+        "host_reads",
+        "host_writes",
+        "host_programs",
+        "gc_programs",
+        "gc_erases",
+        "gc_invocations",
+        "translation_reads",
+        "translation_writes",
+        "mapping_cache_hits",
+        "mapping_cache_misses",
+        "reduced_timing_fallbacks",
+        "grid_hits",
+        "scalar_fallbacks",
+    )
+
     def __init__(self, record_samples: bool = False):
         self.record_samples = record_samples
         self.read_latency = LatencyHistogram()
@@ -258,6 +280,13 @@ class SimulationMetrics:
         self.host_programs = 0
         self.gc_programs = 0
         self.gc_erases = 0
+        #: DFTL (``mapping="page"``) wear-dynamics counters; they stay zero
+        #: under the default block mapping.
+        self.gc_invocations = 0
+        self.translation_reads = 0
+        self.translation_writes = 0
+        self.mapping_cache_hits = 0
+        self.mapping_cache_misses = 0
         self.reduced_timing_fallbacks = 0
         self.simulated_time_us = 0.0
         #: Reads whose retry behaviour came from a precomputed grid slab.
@@ -336,12 +365,9 @@ class SimulationMetrics:
         for steps, count in other.retry_step_counts.items():
             self.retry_step_counts[steps] = (
                 self.retry_step_counts.get(steps, 0) + count)
-        self.pages_read += other.pages_read
         for die_key, busy in other.die_busy_us.items():
             self.record_die_busy(die_key, busy)
-        for counter in ("host_reads", "host_writes", "host_programs",
-                        "gc_programs", "gc_erases", "reduced_timing_fallbacks",
-                        "grid_hits", "scalar_fallbacks"):
+        for counter in self.COUNTER_FIELDS:
             setattr(self, counter,
                     getattr(self, counter) + getattr(other, counter))
         # Summed, matching the summed die_busy_us, so die_utilization() of a
@@ -429,6 +455,27 @@ class SimulationMetrics:
         busy = sum(self.die_busy_us.values()) / len(self.die_busy_us)
         return min(1.0, busy / self.simulated_time_us)
 
+    def write_amplification(self) -> float:
+        """All flash programs (host + GC + translation) per host program.
+
+        1.0 when nothing was written — an idle device amplifies nothing.
+        """
+        if self.host_programs <= 0:
+            return 1.0
+        internal = self.gc_programs + self.translation_writes
+        return (self.host_programs + internal) / self.host_programs
+
+    def mapping_cache_hit_rate(self) -> float:
+        """CMT hit fraction of the DFTL mapper's demand lookups.
+
+        1.0 when no demand lookups happened: the block mapping's flat
+        in-DRAM table serves every translation without a miss.
+        """
+        lookups = self.mapping_cache_hits + self.mapping_cache_misses
+        if lookups == 0:
+            return 1.0
+        return self.mapping_cache_hits / lookups
+
     # -- reporting ------------------------------------------------------------
     def summary(self) -> Dict[str, float]:
         # Build the merged read+write histogram once for both tail columns.
@@ -446,6 +493,11 @@ class SimulationMetrics:
             "host_writes": self.host_writes,
             "gc_programs": self.gc_programs,
             "gc_erases": self.gc_erases,
+            "gc_invocations": self.gc_invocations,
+            "write_amplification": round(self.write_amplification(), 4),
+            "mapping_cache_hit_rate": round(self.mapping_cache_hit_rate(), 4),
+            "translation_reads": self.translation_reads,
+            "translation_writes": self.translation_writes,
             "die_utilization": round(self.die_utilization(), 3),
             "reduced_timing_fallbacks": self.reduced_timing_fallbacks,
             "grid_hits": self.grid_hits,

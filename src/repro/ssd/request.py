@@ -34,15 +34,23 @@ class TransactionKind(enum.Enum):
     ERASE = "erase"
     GC_READ = "gc_read"
     GC_PROGRAM = "gc_program"
+    #: DFTL translation-page traffic (``mapping="page"``): mapping lookups
+    #: that miss the cached mapping table read a translation page, dirty
+    #: evictions and GC batch updates re-program one.  Both compete with
+    #: host I/O for die time like any other transaction.
+    TRANS_READ = "trans_read"
+    TRANS_PROGRAM = "trans_program"
 
     @property
     def is_read(self) -> bool:
-        return self in (TransactionKind.READ, TransactionKind.GC_READ)
+        return self in (TransactionKind.READ, TransactionKind.GC_READ,
+                        TransactionKind.TRANS_READ)
 
     @property
     def is_background(self) -> bool:
         return self in (TransactionKind.GC_READ, TransactionKind.GC_PROGRAM,
-                        TransactionKind.ERASE)
+                        TransactionKind.ERASE, TransactionKind.TRANS_READ,
+                        TransactionKind.TRANS_PROGRAM)
 
 
 _request_ids = itertools.count()

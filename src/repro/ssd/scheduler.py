@@ -85,6 +85,7 @@ class DieScheduler:
             return False
         return active.transaction.kind in (TransactionKind.PROGRAM,
                                            TransactionKind.GC_PROGRAM,
+                                           TransactionKind.TRANS_PROGRAM,
                                            TransactionKind.ERASE)
 
     def _suspend_current(self) -> None:

@@ -1,0 +1,80 @@
+"""Bitwise guard: ``mapping="block"`` must reproduce the pre-DFTL results.
+
+``tests/data/block_mode_golden.json`` was captured by
+``scripts/generate_block_mode_golden.py`` *before* the DFTL subsystem was
+merged, on the exact smoke-suite shape (two Table 2 workloads, fresh and
+aged conditions, the four headline policies).  The default block mapping
+re-runs the same grid here and every value that existed at capture time
+must match exactly — new columns (write_amplification and friends) are
+intentionally ignored, since adding columns is the one change the DFTL PR
+makes to block-mode rows.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.sweep import SweepRunner
+from repro.ssd.config import SsdConfig
+
+FIXTURE = Path(__file__).parent / "data" / "block_mode_golden.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.fixture(scope="module")
+def sweep(golden):
+    config = SsdConfig.scaled(**golden["config"])
+    runner = SweepRunner(config=config)
+    return runner.run(policies=golden["policies"],
+                      workloads=golden["workloads"],
+                      conditions=[tuple(c) for c in golden["conditions"]],
+                      num_requests=golden["num_requests"],
+                      seed=golden["seed"])
+
+
+def _row_key(row):
+    return (row["workload"], row["pe_cycles"], row["retention_months"],
+            row["policy"])
+
+
+class TestBlockModeGolden:
+    def test_default_mapping_is_block(self):
+        assert SsdConfig().mapping == "block"
+        assert SsdConfig.scaled().mapping == "block"
+        assert SsdConfig.tiny().mapping == "block"
+
+    def test_rows_bitwise_identical(self, golden, sweep):
+        fresh = {_row_key(row): row for row in sweep.rows}
+        assert len(sweep.rows) == len(golden["rows"])
+        for row in golden["rows"]:
+            new = fresh[_row_key(row)]
+            for key, value in row.items():
+                assert new[key] == value, (
+                    f"{key} drifted for {_row_key(row)}: "
+                    f"{new[key]!r} != golden {value!r}")
+
+    def test_summaries_bitwise_identical(self, golden, sweep):
+        seen = set()
+        for (workload, pe_cycles, months), cell in sweep.cells.items():
+            for policy, result in cell.items():
+                key = f"{workload}|{pe_cycles}|{months}|{policy}"
+                seen.add(key)
+                summary = result.metrics.summary()
+                for name, value in golden["summaries"][key].items():
+                    assert summary[name] == value, (
+                        f"summary[{name}] drifted for {key}: "
+                        f"{summary[name]!r} != golden {value!r}")
+        assert seen == set(golden["summaries"])
+
+    def test_block_mode_reports_neutral_wear_metrics(self, sweep):
+        # The flat table never misses and nothing amplifies writes beyond
+        # GC, so the new columns take their documented neutral values.
+        for row in sweep.rows:
+            assert row["mapping_cache_hit_rate"] == 1.0
+            assert row["translation_reads"] == 0
+            assert row["translation_writes"] == 0

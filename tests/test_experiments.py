@@ -5,7 +5,8 @@ import pytest
 from repro.experiments import EXPERIMENT_NAMES
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import run_experiment
-from repro.experiments import fig14, fig15, table1, table2, tail_latency
+from repro.experiments import (fig14, fig15, table1, table2, tail_latency,
+                               wear_dynamics)
 
 
 class TestReporting:
@@ -134,3 +135,42 @@ class TestTailLatencyExperiment:
                                     num_requests=120, processes=2)
         assert parallel.rows == tail_result.rows
         assert parallel.headline == tail_result.headline
+
+
+class TestWearDynamicsExperiment:
+    """Smoke runs of the DFTL wear-dynamics harness."""
+
+    @pytest.fixture(scope="class")
+    def wear_result(self):
+        return wear_dynamics.run(workloads=("stg_0",), num_requests=300)
+
+    def test_rows_cover_all_policies_under_live_gc(self, wear_result):
+        policies = {row["policy"] for row in wear_result.rows}
+        assert policies == {"Baseline", "PR2", "AR2", "PnAR2", "NoRR"}
+        for row in wear_result.rows:
+            assert row["gc_invocations"] > 0
+            assert row["gc_erases"] > 0
+            assert row["translation_reads"] > 0
+            assert row["translation_writes"] > 0
+            assert row["write_amplification"] > 1.0
+            assert 0.0 < row["mapping_cache_hit_rate"] < 1.0
+            assert row["distinct_read_conditions"] > 1
+            assert row["p999_response_us"] >= row["p99_response_us"] > 0.0
+
+    def test_headline_reports_tails_and_wear_costs(self, wear_result):
+        for policy in ("Baseline", "PR2", "AR2", "PnAR2", "NoRR"):
+            assert f"{policy} p99/p999 under GC (us)" in wear_result.headline
+        assert float(wear_result.headline["write amplification"]) > 1.0
+        assert int(wear_result.headline["gc invocations"]) > 0
+        assert wear_result.headline["mapping cache hit rate"].endswith("%")
+
+    def test_norr_is_lower_bound_under_gc(self, wear_result):
+        by_policy = {row["policy"]: row["normalized_response_time"]
+                     for row in wear_result.rows}
+        assert by_policy["NoRR"] <= min(by_policy.values())
+
+    def test_serial_equals_parallel(self, wear_result):
+        parallel = wear_dynamics.run(workloads=("stg_0",),
+                                     num_requests=300, processes=2)
+        assert parallel.rows == wear_result.rows
+        assert parallel.headline == wear_result.headline
