@@ -68,8 +68,13 @@ __all__ = [
 ]
 
 
-def quick_ssd_comparison(num_requests=1000, read_ratio=0.9, pe_cycles=1000,
-                         retention_months=6.0, seed=0):
+def quick_ssd_comparison(
+    num_requests=1000,
+    read_ratio=0.9,
+    pe_cycles=1000,
+    retention_months=6.0,
+    seed=0,
+):
     """Run a tiny end-to-end comparison of the read-retry policies.
 
     This convenience helper builds a small SSD, generates a synthetic
@@ -92,11 +97,10 @@ def quick_ssd_comparison(num_requests=1000, read_ratio=0.9, pe_cycles=1000,
     from repro.workloads.synthetic import WorkloadShape
 
     config = SsdConfig.scaled(blocks_per_plane=24, pages_per_block=48)
-    run = (Simulation(config)
-           .policies(default_registry().names(tag="fig14"))
-           .synthetic(WorkloadShape(read_ratio=read_ratio, cold_ratio=0.7,
-                                    mean_interarrival_us=300.0),
-                      n=num_requests, seed=seed)
-           .condition(pec=pe_cycles, months=retention_months)
-           .run())
+    shape = WorkloadShape(read_ratio=read_ratio, cold_ratio=0.7, mean_interarrival_us=300.0)
+    sim = Simulation(config)
+    sim.policies(default_registry().names(tag="fig14"))
+    sim.synthetic(shape, n=num_requests, seed=seed)
+    sim.condition(pec=pe_cycles, months=retention_months)
+    run = sim.run()
     return {name: result.mean_response_time_us for name, result in run}

@@ -30,14 +30,17 @@ from repro.workloads.catalog import workload_names
 def smoke(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Run a tiny read-retry policy sweep as a smoke test.")
-    parser.add_argument("--workloads", nargs="+", default=["usr_1", "stg_0"],
-                        choices=workload_names(),
-                        help="Table 2 workload names")
-    parser.add_argument("--requests", type=int, default=150,
-                        help="host requests per cell")
-    parser.add_argument("--processes", type=int, default=1,
-                        help="sweep worker processes")
+        description="Run a tiny read-retry policy sweep as a smoke test.",
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=["usr_1", "stg_0"],
+        choices=workload_names(),
+        help="Table 2 workload names",
+    )
+    parser.add_argument("--requests", type=int, default=150, help="host requests per cell")
+    parser.add_argument("--processes", type=int, default=1, help="sweep worker processes")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
     if args.processes < 1:
@@ -50,21 +53,28 @@ def smoke(argv: Optional[List[str]] = None) -> int:
     conditions = ((0, 0.0), (1000, 6.0), (2000, 12.0))
     config = SsdConfig.scaled(blocks_per_plane=24, pages_per_block=48)
 
-    print(f"repro smoke sweep: {len(args.workloads)} workloads x "
-          f"{len(conditions)} conditions x {len(policies)} policies, "
-          f"{args.requests} requests per cell, "
-          f"{args.processes} process(es)")
-    started = time.perf_counter()
+    header = (
+        f"repro smoke sweep: {len(args.workloads)} workloads x "
+        f"{len(conditions)} conditions x {len(policies)} policies, "
+        f"{args.requests} requests per cell, {args.processes} process(es)"
+    )
+    print(header)
+    # Elapsed-time display only; no simulation result depends on it.
+    started = time.perf_counter()  # repro-lint: disable=no-wall-clock
     sweep = SweepRunner(config=config, processes=args.processes).run(
-        policies=policies, workloads=args.workloads, conditions=conditions,
-        num_requests=args.requests, seed=args.seed)
-    elapsed = time.perf_counter() - started
+        policies=policies,
+        workloads=args.workloads,
+        conditions=conditions,
+        num_requests=args.requests,
+        seed=args.seed,
+    )
+    elapsed = time.perf_counter() - started  # repro-lint: disable=no-wall-clock
 
     print()
     print(sweep.table())
     print()
-    print(f"{len(sweep.cells)} cells in {elapsed:.1f} s; registered "
-          f"policies: {', '.join(registry.names())}")
+    names = ", ".join(registry.names())
+    print(f"{len(sweep.cells)} cells in {elapsed:.1f} s; registered policies: {names}")
     return 0
 
 

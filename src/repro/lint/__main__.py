@@ -1,0 +1,8 @@
+"""``python -m repro.lint`` — the ``repro-lint`` CLI without installation."""
+
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

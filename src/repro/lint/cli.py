@@ -1,0 +1,128 @@
+"""The ``repro-lint`` command-line interface.
+
+::
+
+    repro-lint                         # lint the configured paths
+    repro-lint src/repro/ssd           # lint specific paths
+    repro-lint --format github         # PR-annotation workflow commands
+    repro-lint --format json           # machine-readable report
+    repro-lint --json-report out.json  # additionally write the JSON report
+    repro-lint --list-rules            # show the rule set
+
+Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
+configuration errors.  Configuration comes from ``[tool.repro-lint]`` in
+the project's ``pyproject.toml`` (discovered by walking up from the current
+directory, or pinned with ``--root``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.config import LintConfig, LintConfigError
+from repro.lint.engine import LintEngine
+from repro.lint.reporting import FORMATS, format_json, render
+from repro.lint.rules import RULE_NAMES, default_rules, rules_by_name
+
+
+def discover_root(start: Optional[Path] = None) -> Path:
+    """The nearest ancestor directory containing ``pyproject.toml``."""
+    current = (start or Path.cwd()).resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return current
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Project-specific static analysis enforcing the simulator's "
+            "determinism and metrics invariants."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: [tool.repro-lint] paths)",
+    )
+    parser.add_argument(
+        "--root",
+        help="project root containing pyproject.toml (default: discovered "
+        "by walking up from the current directory)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--json-report",
+        metavar="FILE",
+        help="additionally write the JSON report to FILE (for CI artifacts)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule names to run exclusively",
+    )
+    parser.add_argument(
+        "--disable",
+        metavar="RULES",
+        help="comma-separated rule names to skip (on top of the config)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the available rules and exit",
+    )
+    return parser
+
+
+def _split_names(raw: Optional[str]) -> List[str]:
+    if not raw:
+        return []
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            scope = "sim paths" if rule.sim_scoped else "all linted paths"
+            print(f"{rule.name} ({scope})")
+            print(f"    {rule.description}")
+        return 0
+
+    root = Path(args.root).resolve() if args.root else discover_root()
+    try:
+        config = LintConfig.load(root)
+        selected = _split_names(args.select)
+        disabled = set(_split_names(args.disable))
+        rules = rules_by_name(selected) if selected else default_rules()
+        rules = tuple(rule for rule in rules if rule.name not in disabled)
+        engine = LintEngine(config, rules=rules)
+        findings = engine.lint_paths(args.paths or None)
+    except (LintConfigError, FileNotFoundError, KeyError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"repro-lint: error: {message}", file=sys.stderr)
+        return 2
+
+    print(render(findings, args.format))
+    if args.json_report:
+        report_path = Path(args.json_report)
+        if report_path.parent != Path("."):
+            report_path.parent.mkdir(parents=True, exist_ok=True)
+        report_path.write_text(format_json(findings) + "\n", encoding="utf-8")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,194 @@
+"""The ``repro-lint`` rule engine.
+
+A :class:`LintEngine` walks the configured paths, parses each Python file
+once, and hands the parsed :class:`ModuleContext` to every applicable
+:class:`Rule`.  Rules are small AST visitors that yield :class:`Finding`
+objects; the engine filters findings through the inline pragma index and
+returns them in deterministic ``(path, line, col, rule)`` order — the
+linter holds itself to the same reproducibility bar it enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.imports import ImportTable
+from repro.lint.pragmas import PragmaIndex
+
+#: Rule name attached to findings for files that fail to parse.
+PARSE_ERROR_RULE = "parse-error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ProjectContext:
+    """Cross-file state shared by every module of one lint run."""
+
+    root: Path
+    config: LintConfig
+    _text_cache: Dict[str, Optional[str]] = field(default_factory=dict)
+
+    def read_text(self, relpath: str) -> Optional[str]:
+        """The text of a repo-relative file, or ``None`` if it is missing."""
+        if relpath not in self._text_cache:
+            path = self.root / relpath
+            self._text_cache[relpath] = (
+                path.read_text(encoding="utf-8") if path.is_file() else None
+            )
+        return self._text_cache[relpath]
+
+
+@dataclass
+class ModuleContext:
+    """One parsed module, as seen by the rules."""
+
+    project: ProjectContext
+    relpath: str
+    source: str
+    tree: ast.Module
+    imports: ImportTable
+
+    @property
+    def config(self) -> LintConfig:
+        return self.project.config
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule.name,
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`name` (the pragma/config identifier),
+    :attr:`description`, and :attr:`sim_scoped` (whether the rule only
+    applies under the configured ``sim-paths``), and implement
+    :meth:`check`.
+    """
+
+    name: str = ""
+    description: str = ""
+    sim_scoped: bool = False
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class LintEngine:
+    """Runs a rule set over the configured project paths."""
+
+    def __init__(self, config: LintConfig, rules: Optional[Sequence[Rule]] = None):
+        if rules is None:
+            from repro.lint.rules import default_rules
+
+            rules = default_rules()
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names: {sorted(names)}")
+        self.config = config
+        self.rules = tuple(rules)
+        self.project = ProjectContext(root=config.root, config=config)
+
+    # -- discovery ------------------------------------------------------------
+    def discover_files(self, paths: Optional[Iterable[str]] = None) -> List[Path]:
+        """Python files under ``paths`` (default: config), sorted, exclusions
+        applied."""
+        entries = tuple(paths) if paths is not None else self.config.paths
+        files = []
+        for entry in entries:
+            target = Path(entry)
+            if not target.is_absolute():
+                target = self.config.root / target
+            if target.is_dir():
+                files.extend(candidate for candidate in target.rglob("*.py"))
+            elif target.is_file():
+                files.append(target)
+            else:
+                raise FileNotFoundError(f"no such file or directory: {entry}")
+        unique = sorted(set(file.resolve() for file in files))
+        return [file for file in unique if not self.config.excluded(self._relpath(file))]
+
+    def _relpath(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.config.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    # -- linting --------------------------------------------------------------
+    def lint_paths(self, paths: Optional[Iterable[str]] = None) -> List[Finding]:
+        findings: List[Finding] = []
+        for file in self.discover_files(paths):
+            findings.extend(self.lint_file(file))
+        return sorted(findings, key=lambda finding: finding.sort_key)
+
+    def lint_file(self, path: Path) -> List[Finding]:
+        source = Path(path).read_text(encoding="utf-8")
+        return self.lint_source(source, self._relpath(Path(path)))
+
+    def lint_source(self, source: str, relpath: str) -> List[Finding]:
+        """Lint one module given as text (the fixture-test entry point)."""
+        applicable = [
+            rule
+            for rule in self.rules
+            if self.config.rule_applies(rule.name, relpath, rule.sim_scoped)
+        ]
+        if not applicable:
+            return []
+        try:
+            tree = ast.parse(source, filename=relpath)
+        except SyntaxError as error:
+            return [
+                Finding(
+                    rule=PARSE_ERROR_RULE,
+                    path=relpath,
+                    line=error.lineno or 1,
+                    col=(error.offset or 0) or 1,
+                    message=f"file does not parse: {error.msg}",
+                )
+            ]
+        pragmas = PragmaIndex.from_source(source)
+        module = ModuleContext(
+            project=self.project,
+            relpath=relpath,
+            source=source,
+            tree=tree,
+            imports=ImportTable.from_tree(tree),
+        )
+        findings = []
+        for rule in applicable:
+            for finding in rule.check(module):
+                if not pragmas.suppressed(rule.name, finding.line):
+                    findings.append(finding)
+        return sorted(findings, key=lambda finding: finding.sort_key)

@@ -1,0 +1,63 @@
+"""Import resolution for the AST rules.
+
+The determinism rules reason about *dotted call targets* — ``time.time``,
+``numpy.random.seed`` — not about whatever local alias a module used.  An
+:class:`ImportTable` maps every imported local name back to its canonical
+dotted path, so ``import numpy as np; np.random.seed(0)`` and
+``from numpy.random import seed; seed(0)`` both resolve to
+``numpy.random.seed``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+
+class ImportTable:
+    """Maps local names to the dotted path they were imported from."""
+
+    def __init__(self) -> None:
+        self._names: Dict[str, str] = {}
+
+    @classmethod
+    def from_tree(cls, tree: ast.AST) -> "ImportTable":
+        table = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        table._names[alias.asname] = alias.name
+                    else:
+                        # ``import os.path`` binds the top-level name only.
+                        top = alias.name.split(".")[0]
+                        table._names[top] = top
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports are project-local, never stdlib
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    table._names[local] = f"{node.module}.{alias.name}"
+        return table
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """The canonical dotted path of a Name/Attribute chain, if imported.
+
+        Returns ``None`` for expressions rooted in anything but an imported
+        name — local variables, parameters and ``self`` attributes resolve
+        to ``None``, which is what keeps ``rng.random()`` (a seeded generator
+        parameter) distinct from ``random.random()`` (the global module).
+        """
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self._names.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))

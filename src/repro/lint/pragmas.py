@@ -1,0 +1,83 @@
+"""Inline suppression pragmas: ``# repro-lint: disable=<rule>``.
+
+A pragma comment suppresses findings of the named rule(s):
+
+* ``# repro-lint: disable=no-wall-clock`` on (or trailing) a line suppresses
+  that rule's findings on that line;
+* ``# repro-lint: disable=rule-a,rule-b`` names several rules;
+* ``# repro-lint: disable=all`` suppresses every rule on the line;
+* ``# repro-lint: disable-file=<rule>`` anywhere in a file suppresses the
+  rule(s) for the whole file.
+
+Comments are found with :mod:`tokenize`, so pragma-looking text inside
+string literals is ignored.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Tuple
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_-]+(?:\s*,\s*[A-Za-z0-9_-]+)*)"
+)
+
+#: The wildcard rule name matching every rule.
+ALL_RULES = "all"
+
+
+class PragmaIndex:
+    """Per-file index of suppression pragmas, queried per finding."""
+
+    def __init__(
+        self,
+        line_rules: Dict[int, FrozenSet[str]],
+        file_rules: FrozenSet[str] = frozenset(),
+    ):
+        self._line_rules = dict(line_rules)
+        self._file_rules = frozenset(file_rules)
+
+    @classmethod
+    def from_source(cls, source: str) -> "PragmaIndex":
+        line_rules: Dict[int, FrozenSet[str]] = {}
+        file_rules: FrozenSet[str] = frozenset()
+        for line, scope, rules in _iter_pragmas(source):
+            if scope == "disable-file":
+                file_rules = file_rules | rules
+            else:
+                line_rules[line] = line_rules.get(line, frozenset()) | rules
+        return cls(line_rules, file_rules)
+
+    def suppressed(self, rule_name: str, line: int) -> bool:
+        """Whether a finding of ``rule_name`` on ``line`` is pragma-suppressed."""
+        names = self._file_rules | self._line_rules.get(line, frozenset())
+        return rule_name in names or ALL_RULES in names
+
+
+def _iter_pragmas(source: str):
+    """Yield ``(line, scope, rule_names)`` for each pragma comment."""
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA.search(token.string)
+        if match is None:
+            continue
+        rules = frozenset(
+            name.strip() for name in match.group("rules").split(",") if name.strip()
+        )
+        yield token.start[0], match.group("scope"), rules
+
+
+def pragma_names(source: str) -> Tuple[str, ...]:
+    """Every rule name referenced by a pragma in ``source`` (sorted, unique)."""
+    names = set()
+    for _line, _scope, rules in _iter_pragmas(source):
+        names.update(rules)
+    return tuple(sorted(names))

@@ -1,0 +1,73 @@
+"""Output formats for ``repro-lint`` findings.
+
+``text`` is the human default, ``json`` a machine-readable report (the CI
+artifact), and ``github`` emits workflow commands that GitHub renders as
+inline annotations on pull requests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.lint.engine import Finding
+
+FORMATS = ("text", "json", "github")
+
+
+def _summary(count: int) -> str:
+    if count == 0:
+        return "repro-lint: all clean"
+    return f"repro-lint: {count} finding{'s' if count != 1 else ''}"
+
+
+def format_text(findings: Sequence[Finding]) -> str:
+    lines = [
+        f"{finding.path}:{finding.line}:{finding.col}: "
+        f"[{finding.rule}] {finding.message}"
+        for finding in findings
+    ]
+    lines.append(_summary(len(findings)))
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding]) -> str:
+    report = {
+        "tool": "repro-lint",
+        "version": 1,
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(report, indent=2, sort_keys=True)
+
+
+def _escape_github(value: str) -> str:
+    """Escape a workflow-command message (GitHub's %-encoding rules)."""
+    return (
+        value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def format_github(findings: Sequence[Finding]) -> str:
+    lines = [
+        f"::error file={finding.path},line={finding.line},col={finding.col},"
+        f"title=repro-lint {finding.rule}::{_escape_github(finding.message)}"
+        for finding in findings
+    ]
+    lines.append(_summary(len(findings)))
+    return "\n".join(lines)
+
+
+FORMATTERS = {
+    "text": format_text,
+    "json": format_json,
+    "github": format_github,
+}
+
+
+def render(findings: Sequence[Finding], fmt: str) -> str:
+    try:
+        formatter = FORMATTERS[fmt]
+    except KeyError:
+        raise ValueError(f"unknown format {fmt!r}; choose from {FORMATS}") from None
+    return formatter(findings)

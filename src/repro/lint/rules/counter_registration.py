@@ -1,0 +1,178 @@
+"""``counter-registration``: metrics counters must merge and report.
+
+``SimulationMetrics.merge()`` folds scalar counters by iterating the
+class-level ``COUNTER_FIELDS`` tuple; a counter initialized in ``__init__``
+but missing from the tuple silently stays zero on every merged (fleet,
+sweep, suite) result — the exact bug class PR 6's completeness test was
+added for.  This rule generalizes that test to any class declaring a
+``COUNTER_FIELDS`` tuple:
+
+* every integer counter assigned in ``__init__`` (``self.x = 0``, name not
+  underscore-prefixed) must appear in ``COUNTER_FIELDS``;
+* every ``COUNTER_FIELDS`` entry must be initialized as an integer counter
+  in ``__init__``;
+* if the class defines ``summary()``, every counter must be readable from
+  it — directly or through methods ``summary()`` transitively calls — so no
+  counter can silently vanish from the reporting surface.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.lint.engine import Finding, ModuleContext, Rule
+
+
+def _counter_fields(class_node: ast.ClassDef):
+    """The ``COUNTER_FIELDS`` assignment of a class body, if declared."""
+    for statement in class_node.body:
+        targets = []
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets = [statement.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "COUNTER_FIELDS":
+                return statement
+    return None
+
+
+def _declared_names(statement) -> Tuple[str, ...]:
+    value = statement.value
+    if not isinstance(value, (ast.Tuple, ast.List)):
+        return ()
+    names = []
+    for element in value.elts:
+        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+            names.append(element.value)
+    return tuple(names)
+
+
+def _integer_counters(init: ast.FunctionDef) -> Dict[str, ast.AST]:
+    """``self.<name> = <int literal>`` assignments (bools excluded)."""
+    counters: Dict[str, ast.AST] = {}
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            continue
+        value = node.value
+        if (
+            isinstance(value, ast.Constant)
+            and isinstance(value.value, int)
+            and not isinstance(value.value, bool)
+            and not target.attr.startswith("_")
+        ):
+            counters[target.attr] = node
+    return counters
+
+
+def _method_surface(method: ast.FunctionDef) -> Tuple[Set[str], Set[str]]:
+    """(attributes read, methods called) on ``self`` within one method."""
+    reads: Set[str] = set()
+    calls: Set[str] = set()
+    for node in ast.walk(method):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            reads.add(node.attr)
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            calls.add(node.func.attr)
+    return reads, calls
+
+
+def _reachable_reads(methods: Dict[str, ast.FunctionDef], start: str) -> Set[str]:
+    """Self-attributes readable from ``start`` through self-method calls."""
+    surfaces = {name: _method_surface(method) for name, method in methods.items()}
+    reachable: Set[str] = set()
+    pending = [start]
+    visited: Set[str] = set()
+    while pending:
+        name = pending.pop()
+        if name in visited or name not in surfaces:
+            continue
+        visited.add(name)
+        reads, calls = surfaces[name]
+        reachable.update(reads)
+        pending.extend(sorted(calls))
+    return reachable
+
+
+class CounterRegistrationRule(Rule):
+    name = "counter-registration"
+    description = (
+        "integer counters assigned in __init__ of a COUNTER_FIELDS class "
+        "must be listed in COUNTER_FIELDS (merge completeness) and surface "
+        "in summary()"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                for finding in self._check_class(module, node):
+                    yield finding
+
+    def _check_class(
+        self, module: ModuleContext, class_node: ast.ClassDef
+    ) -> List[Finding]:
+        fields_node = _counter_fields(class_node)
+        if fields_node is None:
+            return []
+        declared = _declared_names(fields_node)
+        methods = {
+            statement.name: statement
+            for statement in class_node.body
+            if isinstance(statement, ast.FunctionDef)
+        }
+        init = methods.get("__init__")
+        counters = _integer_counters(init) if init is not None else {}
+        findings = []
+        for name in sorted(counters):
+            if name not in declared:
+                findings.append(
+                    module.finding(
+                        self,
+                        counters[name],
+                        f"integer counter {name!r} of {class_node.name} is "
+                        "missing from COUNTER_FIELDS; merge() would silently "
+                        "drop it from aggregated results",
+                    )
+                )
+        for name in declared:
+            if name not in counters:
+                findings.append(
+                    module.finding(
+                        self,
+                        fields_node,
+                        f"COUNTER_FIELDS lists {name!r} but "
+                        f"{class_node.name}.__init__ never initializes it as "
+                        "an integer counter",
+                    )
+                )
+        if "summary" in methods:
+            reachable = _reachable_reads(methods, "summary")
+            for name in declared:
+                if name in counters and name not in reachable:
+                    findings.append(
+                        module.finding(
+                            self,
+                            counters[name],
+                            f"counter {name!r} never surfaces in "
+                            f"{class_node.name}.summary() (directly or via "
+                            "methods summary() calls)",
+                        )
+                    )
+        return findings

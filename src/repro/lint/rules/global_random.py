@@ -1,0 +1,69 @@
+"""``no-global-random``: randomness must flow from explicit seeded objects.
+
+Calls into the module-level RNGs — ``random.random()``, ``random.shuffle``,
+``numpy.random.rand``, ``numpy.random.seed`` — draw from (or mutate) hidden
+global state, so results depend on import order and whatever else touched
+the stream.  The reproducible pattern is to construct a seeded
+``random.Random(seed)`` / ``numpy.random.default_rng(seed)`` and pass it
+down; methods on such an object (``rng.random()``) resolve to a local name
+and are never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding, ModuleContext, Rule
+
+#: Explicit-construction entry points of the two RNG libraries.  These are
+#: the *only* ``random.*`` / ``numpy.random.*`` calls a sim path may make —
+#: and only with an explicit seed argument.
+SEEDED_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+        "numpy.random.SeedSequence",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.Philox",
+        "numpy.random.MT19937",
+        "numpy.random.SFC64",
+    }
+)
+
+_GLOBAL_PREFIXES = ("random.", "numpy.random.")
+
+
+class NoGlobalRandomRule(Rule):
+    name = "no-global-random"
+    description = (
+        "module-level random.*/numpy.random.* calls use hidden global state; "
+        "construct a seeded Random/Generator and pass it as a parameter"
+    )
+    sim_scoped = True
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.imports.resolve(node.func)
+            if dotted is None or not dotted.startswith(_GLOBAL_PREFIXES):
+                continue
+            if dotted in SEEDED_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield module.finding(
+                        self,
+                        node,
+                        f"{dotted}() without a seed draws OS entropy; pass an "
+                        "explicit seed (or SeedSequence) so runs reproduce",
+                    )
+                continue
+            yield module.finding(
+                self,
+                node,
+                f"call to {dotted}() uses the global RNG stream; thread a "
+                "seeded random.Random/numpy Generator parameter instead",
+            )

@@ -1,0 +1,130 @@
+"""``experiment-registration-sync``: experiments stay registered and documented.
+
+The experiment surface has three synchronized layers: a harness module under
+``repro/experiments/`` defining ``run()``, its ``@register_experiment``
+registration (which is how ``repro-experiment run all`` and the CLI find
+it), and its section in ``EXPERIMENTS.md``.  A module that grows a runner
+without registering it silently drops out of every suite run; a registered
+experiment without a ``### `name``` heading in the docs is undiscoverable.
+This rule checks both directions for every module of the configured
+``experiments-package``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.engine import Finding, ModuleContext, Rule
+
+_REGISTER = "register_experiment"
+
+
+def _register_calls(tree: ast.Module) -> List[ast.Call]:
+    calls = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+            if name == _REGISTER:
+                calls.append(node)
+    return calls
+
+
+def _registered_names(tree: ast.Module) -> List[Tuple[str, ast.AST]]:
+    """(experiment name, node) pairs for every resolvable registration.
+
+    The name is the decorator/call's first positional string literal; a
+    decorator without one registers under the decorated function's name.
+    Calls whose name is a non-literal expression (the registry's own
+    plumbing) are skipped rather than guessed at.
+    """
+    names: List[Tuple[str, ast.AST]] = []
+    register_call_ids = {id(call) for call in _register_calls(tree)}
+    decorator_calls = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for decorator in node.decorator_list:
+            if isinstance(decorator, ast.Call) and id(decorator) in register_call_ids:
+                decorator_calls.add(id(decorator))
+                literal = _first_string_arg(decorator)
+                if literal is not None:
+                    names.append((literal, decorator))
+                elif not decorator.args:
+                    names.append((node.name, decorator))
+            elif (isinstance(decorator, ast.Name) and decorator.id == _REGISTER) or (
+                isinstance(decorator, ast.Attribute) and decorator.attr == _REGISTER
+            ):
+                names.append((node.name, decorator))
+    for call in _register_calls(tree):
+        if id(call) in decorator_calls:
+            continue
+        literal = _first_string_arg(call)
+        if literal is not None:
+            names.append((literal, call))
+    return names
+
+
+def _first_string_arg(call: ast.Call) -> Optional[str]:
+    if call.args and isinstance(call.args[0], ast.Constant):
+        value = call.args[0].value
+        if isinstance(value, str):
+            return value
+    return None
+
+
+class ExperimentRegistrationSyncRule(Rule):
+    name = "experiment-registration-sync"
+    description = (
+        "experiments-package modules defining run() must @register_experiment "
+        "it, and every registered experiment needs a ### `name` section in "
+        "the experiments doc"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        package = module.config.experiments_package.rstrip("/")
+        relpath = module.relpath
+        if not (relpath == package or relpath.startswith(package + "/")):
+            return
+        if relpath.endswith("__init__.py"):
+            return
+        register_calls = _register_calls(module.tree)
+        runner = next(
+            (
+                statement
+                for statement in module.tree.body
+                if isinstance(statement, ast.FunctionDef) and statement.name == "run"
+            ),
+            None,
+        )
+        if runner is not None and not register_calls:
+            yield module.finding(
+                self,
+                runner,
+                f"{relpath} defines run() but never calls "
+                "@register_experiment; the experiment is invisible to "
+                "`repro-experiment run all` and the suite CLI",
+            )
+        registered = _registered_names(module.tree)
+        if not registered:
+            return
+        doc_path = module.config.experiments_doc
+        doc = module.project.read_text(doc_path)
+        for name, node in registered:
+            if doc is None:
+                yield module.finding(
+                    self,
+                    node,
+                    f"experiment {name!r} is registered but the experiments "
+                    f"doc {doc_path!r} does not exist",
+                )
+            elif re.search(rf"^###\s+`{re.escape(name)}`", doc, re.M) is None:
+                yield module.finding(
+                    self,
+                    node,
+                    f"registered experiment {name!r} has no `### `{name}`` "
+                    f"section in {doc_path}; document its parameters and "
+                    "profiles there",
+                )

@@ -1,0 +1,204 @@
+"""``no-unordered-iteration``: set iteration order must never feed results.
+
+Python sets iterate in hash order, which varies with insertion history and
+(for strings, absent ``PYTHONHASHSEED`` pinning) across processes — a
+direct hazard to the bitwise serial==parallel guarantee: a worker that
+iterates a set in a different order than the parent produces differently
+ordered rows, payloads or event sequences.  The rule flags
+
+* ``for x in <set>`` statements and list/generator/dict comprehensions
+  iterating a set,
+* order-preserving materializations of a set — ``list(s)``, ``tuple(s)``,
+  ``enumerate(s)``, ``iter(s)``, ``dict.fromkeys(s)``, ``sep.join(s)``,
+
+where ``<set>`` is a set literal, a set comprehension, a ``set()`` /
+``frozenset()`` call, a set-algebra expression over one, or a local name
+assigned from any of those.  Order-insensitive consumers — ``sorted``,
+``len``, ``sum``, ``min``, ``max``, ``any``, ``all``, ``set``,
+``frozenset``, membership tests, set comprehensions — are allowed: wrapping
+the iteration in ``sorted(...)`` is the canonical fix.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.lint.engine import Finding, ModuleContext, Rule
+
+#: Builtins whose result does not depend on argument order.
+ORDER_INSENSITIVE = frozenset(
+    {"sorted", "len", "sum", "min", "max", "any", "all", "set", "frozenset"}
+)
+
+#: Calls that materialize their argument in iteration order.
+ORDER_SENSITIVE = frozenset({"list", "tuple", "enumerate", "iter", "reversed"})
+
+#: Set methods that return another set.
+SET_RETURNING_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+
+
+class _Scope:
+    """Tracked set-typed local names, chained to the enclosing scope."""
+
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.names: dict = {}
+
+    def is_set(self, name: str) -> bool:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return False
+
+    def assign(self, name: str, is_set: bool) -> None:
+        self.names[name] = is_set
+
+
+class _SetIterationVisitor(ast.NodeVisitor):
+    def __init__(self, rule: "NoUnorderedIterationRule", module: ModuleContext):
+        self.rule = rule
+        self.module = module
+        self.findings: List[Finding] = []
+        self.scope = _Scope()
+        #: Comprehension nodes appearing directly inside an order-insensitive
+        #: call (``sorted(f(x) for x in s)``) — their set iteration is safe.
+        self._order_safe: Set[int] = set()
+
+    # -- set-type inference ---------------------------------------------------
+    def _is_set(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return self.scope.is_set(node.id)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return self._is_set(node.left) or self._is_set(node.right)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in SET_RETURNING_METHODS
+                and self._is_set(func.value)
+            ):
+                return True
+        return False
+
+    def _describe(self, node: ast.expr) -> str:
+        if isinstance(node, ast.Name):
+            return f"the set {node.id!r}"
+        return "a set expression"
+
+    def _flag(self, node: ast.AST, iterable: ast.expr, context: str) -> None:
+        self.findings.append(
+            self.module.finding(
+                self.rule,
+                node,
+                f"{context} iterates {self._describe(iterable)} in hash order, "
+                "which is not deterministic across processes; sort it first "
+                "(sorted(...)) or use an ordered container",
+            )
+        )
+
+    # -- scope handling -------------------------------------------------------
+    def _visit_in_new_scope(self, node: ast.AST) -> None:
+        self.scope = _Scope(self.scope)
+        self.generic_visit(node)
+        self.scope = self.scope.parent
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_in_new_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_in_new_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_in_new_scope(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._visit_in_new_scope(node)
+
+    # -- assignments ----------------------------------------------------------
+    def _record_target(self, target: ast.expr, is_set: bool) -> None:
+        if isinstance(target, ast.Name):
+            self.scope.assign(target.id, is_set)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_target(element, False)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        for target in node.targets:
+            self._record_target(target, self._is_set(node.value))
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if node.value is not None:
+            self._record_target(node.target, self._is_set(node.value))
+
+    # -- iteration sites ------------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_set(node.iter):
+            self._flag(node, node.iter, "for loop")
+        self._record_target(node.target, False)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node, kind: str) -> None:
+        if id(node) not in self._order_safe:
+            for generator in node.generators:
+                if self._is_set(generator.iter):
+                    self._flag(node, generator.iter, kind)
+        self._visit_in_new_scope(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node, "list comprehension")
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node, "generator expression")
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension(node, "dict comprehension")
+
+    # SetComp results are unordered, so iterating a set to build one is safe;
+    # visit only for nested expressions (and scope isolation).
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_in_new_scope(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in ORDER_INSENSITIVE:
+                for arg in node.args:
+                    if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                        self._order_safe.add(id(arg))
+            elif func.id in ORDER_SENSITIVE and node.args:
+                if self._is_set(node.args[0]):
+                    self._flag(node, node.args[0], f"{func.id}() call")
+        elif isinstance(func, ast.Attribute) and node.args:
+            if func.attr == "fromkeys" and self._is_set(node.args[0]):
+                self._flag(node, node.args[0], "dict.fromkeys() call")
+            elif func.attr == "join" and self._is_set(node.args[0]):
+                self._flag(node, node.args[0], "str.join() call")
+        self.generic_visit(node)
+
+
+class NoUnorderedIterationRule(Rule):
+    name = "no-unordered-iteration"
+    description = (
+        "iterating a set (for loops, comprehensions, list()/tuple()/"
+        "enumerate()/dict.fromkeys()) feeds hash order into results; "
+        "sort first"
+    )
+    sim_scoped = True
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        visitor = _SetIterationVisitor(self, module)
+        visitor.visit(module.tree)
+        return iter(visitor.findings)

@@ -1,0 +1,69 @@
+"""``no-wall-clock``: ban wall-clock and entropy reads in simulation paths.
+
+A simulated-time system must never consult the host clock or the OS entropy
+pool on a result-bearing path: a single ``time.time()`` in the event loop
+makes two runs of the same seed diverge, and ``os.urandom`` is
+unreproducible by design.  Timing *reporting* (CLI elapsed-time displays)
+lives outside the sim paths or carries an explicit
+``# repro-lint: disable=no-wall-clock`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding, ModuleContext, Rule
+
+#: Dotted call targets that read the host clock or entropy pool.
+BANNED_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "time.clock_gettime_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.today",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: Whole modules whose every call is an entropy source.
+BANNED_PREFIXES = ("secrets.",)
+
+
+class NoWallClockRule(Rule):
+    name = "no-wall-clock"
+    description = (
+        "wall-clock/entropy reads (time.time, perf_counter, datetime.now, "
+        "os.urandom, ...) are banned in sim paths; use simulated time or a "
+        "seeded RNG"
+    )
+    sim_scoped = True
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.imports.resolve(node.func)
+            if dotted is None:
+                continue
+            if dotted in BANNED_CALLS or dotted.startswith(BANNED_PREFIXES):
+                yield module.finding(
+                    self,
+                    node,
+                    f"call to {dotted}() reads the host clock/entropy pool; "
+                    "sim paths must depend only on simulated time and seeded "
+                    "randomness",
+                )
