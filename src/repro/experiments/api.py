@@ -22,7 +22,8 @@ by.
 >>> registry = default_experiment_registry()
 >>> registry.names(tag="system")  # doctest: +NORMALIZE_WHITESPACE
 ('fig14', 'fig15', 'tail_latency', 'fleet_capacity', 'wear_dynamics',
- 'ablation_rpt', 'ablation_scheduling', 'ablation_extensions')
+ 'adversarial_scenarios', 'ablation_rpt', 'ablation_scheduling',
+ 'ablation_extensions')
 >>> registry.entry("fig05").params.resolve(profile="fast")["num_chips"]
 4
 """
@@ -416,7 +417,7 @@ def register_experiment(name: Optional[str] = None, *,
 EXPERIMENT_MODULES = (
     "table1", "table2", "fig04b", "fig05", "fig07", "fig08", "fig09",
     "fig10", "fig11", "fig14", "fig15", "tail_latency", "fleet_capacity",
-    "wear_dynamics", "ablation",
+    "wear_dynamics", "adversarial_scenarios", "ablation",
 )
 
 

@@ -20,8 +20,10 @@ from repro.experiments.reporting import ExperimentResult
     tags=("paper", "figure", "characterization"),
     params=(
         param("last_steps", 4, "how many final retry steps to report"),
+        param("seed", 0, "stream seed (the error model is deterministic; "
+                         "declared so the cache key carries it)"),
     ))
-def run(last_steps: int = 4) -> ExperimentResult:
+def run(last_steps: int = 4, seed: int = 0) -> ExperimentResult:
     rows = rber_per_retry_step(last_steps=last_steps)
     headline = {
         "ECC capability [errors/KiB]": ECC_CALIBRATION.capability_bits,

@@ -4,6 +4,7 @@ from repro.lint.rules.counter_registration import CounterRegistrationRule
 from repro.lint.rules.global_random import NoGlobalRandomRule
 from repro.lint.rules.pickle_safe_pool import PickleSafePoolRule
 from repro.lint.rules.registration_sync import ExperimentRegistrationSyncRule
+from repro.lint.rules.seed_param import ExperimentSeedParamRule
 from repro.lint.rules.unordered_iteration import NoUnorderedIterationRule
 from repro.lint.rules.wall_clock import NoWallClockRule
 
@@ -15,6 +16,7 @@ RULE_CLASSES = (
     CounterRegistrationRule,
     PickleSafePoolRule,
     ExperimentRegistrationSyncRule,
+    ExperimentSeedParamRule,
 )
 
 RULE_NAMES = tuple(rule_class.name for rule_class in RULE_CLASSES)

@@ -1,0 +1,93 @@
+"""``experiment-seed-param``: parameterized experiments declare their seed.
+
+Every experiment result in this repository must be a pure function of its
+declared parameters — that is what makes the result cache, the manifest
+diff, and the serial==parallel bitwise guarantee meaningful.  An
+experiment that takes parameters but draws its streams from an implicit
+or hard-coded seed hides an input: two runs with identical declared
+parameters could be regenerated differently after an internal default
+changes, and the cache key would never notice.  This rule requires every
+``@register_experiment`` registration that declares parameters to declare
+``param("seed", ...)`` among them.  Registrations with no ``params``
+keyword (pure table/constant experiments) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.engine import Finding, ModuleContext, Rule
+
+_REGISTER = "register_experiment"
+_PARAM = "param"
+
+
+def _call_name(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    return getattr(func, "attr", "")
+
+
+def _first_string_arg(call: ast.Call) -> Optional[str]:
+    if call.args and isinstance(call.args[0], ast.Constant):
+        value = call.args[0].value
+        if isinstance(value, str):
+            return value
+    return None
+
+
+def _declared_param_names(params: ast.expr) -> Optional[list]:
+    """Parameter names declared in a literal ``params=(param(...), ...)``.
+
+    Returns ``None`` when the expression is not a tuple/list literal of
+    ``param(...)`` calls — a computed params value is the registry's own
+    plumbing, not a registration this rule can reason about.
+    """
+    if not isinstance(params, (ast.Tuple, ast.List)):
+        return None
+    names = []
+    for element in params.elts:
+        if not (isinstance(element, ast.Call) and _call_name(element) == _PARAM):
+            return None
+        name = _first_string_arg(element)
+        if name is None:
+            return None
+        names.append(name)
+    return names
+
+
+class ExperimentSeedParamRule(Rule):
+    name = "experiment-seed-param"
+    description = (
+        "@register_experiment registrations that declare params= must "
+        'include param("seed", ...) so the seed is part of the cache key '
+        "and manifest"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        package = module.config.experiments_package.rstrip("/")
+        relpath = module.relpath
+        if not (relpath == package or relpath.startswith(package + "/")):
+            return
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and _call_name(node) == _REGISTER):
+                continue
+            params = next(
+                (kw.value for kw in node.keywords if kw.arg == "params"), None
+            )
+            if params is None:
+                continue
+            declared = _declared_param_names(params)
+            if not declared or "seed" in declared:
+                continue
+            experiment = _first_string_arg(node) or "<experiment>"
+            yield module.finding(
+                self,
+                node,
+                f"experiment {experiment!r} declares parameters "
+                f"{declared} without a 'seed' param; declare "
+                'param("seed", ...) so the stream seed is part of the '
+                "cache key and run manifest",
+            )

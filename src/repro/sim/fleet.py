@@ -44,9 +44,15 @@ from repro.ssd.controller import (
     SimulationResult,
     SsdSimulator,
 )
+from repro.ssd.faults import FaultPlan
 from repro.ssd.metrics import SimulationMetrics
 from repro.ssd.request import HostRequest
 from repro.workloads.router import StripeRouter
+from repro.workloads.source import (
+    is_workload_source,
+    source_from_dict,
+    source_to_dict,
+)
 from repro.workloads.tenants import TenantMix
 
 #: Any array-level request source the fleet can shard.
@@ -131,15 +137,21 @@ def _source_payload(source: FleetSource, num_requests: Optional[int],
         return {"tenant_mix": source.to_dict()}
     if isinstance(source, dict) and "tenants" in source:
         return {"tenant_mix": TenantMix.from_dict(source).to_dict()}
+    if isinstance(source, dict) and "kind" in source:
+        # Normalize through the registry so malformed payloads fail here,
+        # in the parent, not inside a pool worker.
+        return {"source": source_to_dict(source_from_dict(source))}
     if isinstance(source, (str, WorkloadSpec, dict)):
         spec = WorkloadSpec.coerce(source, num_requests=num_requests,
                                    seed=seed)
         return {"workload": spec.to_dict()}
+    if is_workload_source(source):
+        return {"source": source_to_dict(source)}
     if isinstance(source, Sequence):
         return {"requests": list(source)}
     raise TypeError(
         f"cannot shard {source!r}; pass a workload name/spec, a TenantMix, "
-        "or a sequence of HostRequest objects")
+        "a WorkloadSource, or a sequence of HostRequest objects")
 
 
 def _source_stream(payload: dict, spec: FleetSpec) -> Iterable[HostRequest]:
@@ -148,16 +160,30 @@ def _source_stream(payload: dict, spec: FleetSpec) -> Iterable[HostRequest]:
     if "workload" in payload:
         workload = WorkloadSpec.from_dict(payload["workload"])
         return workload.iter_requests(spec.config, footprint_pages=pages)
+    if "source" in payload:
+        source = source_from_dict(payload["source"])
+        return source.iter_requests(spec.config, footprint_pages=pages)
     mix = TenantMix.from_dict(payload["tenant_mix"])
-    return mix.iter_requests(spec.config, logical_pages=pages)
+    return mix.iter_requests(spec.config, footprint_pages=pages)
 
 
 def _source_label(payload: dict) -> str:
     if "workload" in payload:
         return WorkloadSpec.from_dict(payload["workload"]).label
+    if "source" in payload:
+        return source_from_dict(payload["source"]).label
     if "tenant_mix" in payload:
         return TenantMix.from_dict(payload["tenant_mix"]).label
     return f"explicit-{len(payload['requests'])}"
+
+
+def _payload_tracks_tenants(payload: dict) -> bool:
+    if "tenant_mix" in payload:
+        return True
+    if "source" in payload:
+        source = source_from_dict(payload["source"])
+        return bool(getattr(source, "tracks_tenants", False))
+    return False
 
 
 def _run_fleet_device(payload: dict) -> Tuple[str, int, SimulationResult]:
@@ -175,10 +201,13 @@ def _run_fleet_device(payload: dict) -> Tuple[str, int, SimulationResult]:
                                        rpt=rpt)
     simulator = SsdSimulator(config=config, policy=policy, rpt=rpt,
                              device_id=device,
-                             track_tenants="tenant_mix" in payload)
+                             track_tenants=_payload_tracks_tenants(payload))
     condition = spec.device_condition(device)
     simulator.precondition(pe_cycles=condition.pe_cycles,
-                           retention_months=condition.retention_months)
+                           retention_months=condition.retention_months,
+                           fill_fraction=condition.fill_fraction)
+    if payload.get("faults"):
+        simulator.install_faults(FaultPlan.from_dict(payload["faults"]))
     if "device_requests" in payload:
         # Explicit lists were sorted and sharded once in the parent; the
         # payload already holds this device's own sub-requests.
@@ -341,7 +370,8 @@ class FleetRunner:
             policies: Union[str, Iterable[str]] = "Baseline",
             num_requests: Optional[int] = None,
             seed: Optional[int] = None,
-            lookahead: Optional[int] = None) -> FleetRunResult:
+            lookahead: Optional[int] = None,
+            faults: Optional[FaultPlan] = None) -> FleetRunResult:
         """Shard ``source`` across the fleet for every policy.
 
         One payload per (policy, device) cell goes through
@@ -362,6 +392,7 @@ class FleetRunner:
             raise ValueError("no policies given")
         source_payload = _source_payload(source, num_requests, seed)
         label = _source_label(source_payload)
+        fault_plan = FaultPlan.coerce(faults) if faults is not None else None
         if "requests" in source_payload:
             # Keep the single-device contract ("pre-materialized sequences
             # are sorted up front"), then split per device so payloads
@@ -377,6 +408,7 @@ class FleetRunner:
         payloads = [
             dict(source_payload, fleet=fleet_dict, device=device,
                  policy=policy, rpt=self.rpt, lookahead=lookahead,
+                 **({"faults": fault_plan.to_dict()} if fault_plan else {}),
                  **({"device_requests": shards[device]}
                     if shards is not None else {}))
             for policy in policy_names
@@ -405,6 +437,8 @@ class FleetRunner:
                        if key != "requests"},
             "policies": list(policy_names),
         }
+        if fault_plan:
+            manifest["faults"] = fault_plan.to_dict()
         return FleetRunResult(spec=self.spec, results=results,
                               manifest=manifest)
 

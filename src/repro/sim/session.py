@@ -25,11 +25,13 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.rpt import ReadTimingParameterTable
 from repro.sim.registry import default_registry
-from repro.sim.spec import Condition, WorkloadSpec
+from repro.sim.spec import DEFAULT_FILL_FRACTION, Condition, WorkloadSpec
 from repro.ssd.config import SsdConfig
 from repro.ssd.controller import SimulationResult, SsdSimulator
+from repro.ssd.faults import FaultPlan
 from repro.ssd.metrics import normalized_response_times
 from repro.ssd.request import HostRequest
+from repro.workloads.source import as_workload_source, source_to_dict
 from repro.workloads.synthetic import WorkloadShape
 from repro.workloads.tenants import TenantMix
 
@@ -41,7 +43,9 @@ class RunResult:
     config: SsdConfig
     condition: Condition
     results: Dict[str, SimulationResult]
-    workload: Optional[WorkloadSpec] = None
+    #: The run's ``WorkloadSource`` (a spec, scenario pattern, trace
+    #: replay...), when the run was driven by one.
+    workload: Optional[object] = None
     manifest: dict = field(default_factory=dict)
 
     # -- access ---------------------------------------------------------------
@@ -93,14 +97,16 @@ class Simulation:
     def __init__(self, config: Optional[SsdConfig] = None):
         self._config = config or SsdConfig.scaled()
         self._policies: List[str] = []
-        self._workload: Optional[WorkloadSpec] = None
+        #: Any unified ``WorkloadSource`` — a spec, tenant mix, scenario
+        #: pattern, trace replay... (see :mod:`repro.workloads.source`).
+        self._source: Optional[object] = None
         self._requests: Optional[List[HostRequest]] = None
         self._stream: Optional[Callable[[], Iterable[HostRequest]]] = None
         self._condition = Condition()
         self._rpt: Optional[ReadTimingParameterTable] = None
         self._lookahead: Optional[int] = None
         self._registry = default_registry()
-        self._tenant_mix: Optional[TenantMix] = None
+        self._fault_plan: Optional[FaultPlan] = None
         self._fleet_params: Optional[dict] = None
         self._slo_params: Optional[dict] = None
         self._closed_loop_params: Optional[dict] = None
@@ -129,14 +135,54 @@ class Simulation:
                  n: Optional[int] = None, seed: Optional[int] = None,
                  mean_interarrival_us: Optional[float] = None,
                  footprint_fraction: Optional[float] = None) -> "Simulation":
-        """Select the request stream: a Table 2 name, spec, or synthetic shape."""
-        self._workload = WorkloadSpec.coerce(
+        """Select the request stream.
+
+        Accepts a Table 2 name, a :class:`~repro.sim.spec.WorkloadSpec`, a
+        synthetic shape — or any ready ``WorkloadSource`` (a scenario
+        pattern, a trace replay, a tenant mix); protocol objects pass
+        through untouched and the keyword overrides apply only to the
+        spec-building forms.
+        """
+        self._source = as_workload_source(
             workload, num_requests=n, seed=seed,
             mean_interarrival_us=mean_interarrival_us,
             footprint_fraction=footprint_fraction)
         self._requests = None
         self._stream = None
-        self._tenant_mix = None
+        return self
+
+    def pattern(self, pattern, **kwargs) -> "Simulation":
+        """Select an adversarial access pattern by name (or a built one).
+
+        ``pattern`` is a name from
+        :data:`repro.workloads.scenarios.PATTERNS` (``kwargs`` construct
+        it, e.g. ``.pattern("hot_cold", num_requests=2000)``) or an
+        already-built scenario source, which ``kwargs`` must not
+        accompany.
+        """
+        if isinstance(pattern, str):
+            from repro.workloads.scenarios import make_pattern
+
+            pattern = make_pattern(pattern, **kwargs)
+        elif kwargs:
+            raise ValueError(
+                "keyword arguments only apply when naming a pattern; "
+                "configure a ready source at construction instead")
+        return self.workload(pattern)
+
+    def faults(self, *faults, seed: int = 0) -> "Simulation":
+        """Install a deterministic fault-injection plan for the run.
+
+        Each argument is a :class:`~repro.ssd.faults.FaultSpec` (or its
+        dict form); a single :class:`~repro.ssd.faults.FaultPlan` is used
+        as-is.  The plan is installed on every per-policy simulator after
+        preconditioning; an empty plan leaves the run bitwise identical
+        to a fault-free one.
+        """
+        if len(faults) == 1 and isinstance(faults[0], FaultPlan):
+            self._fault_plan = faults[0]
+        else:
+            self._fault_plan = FaultPlan.coerce(list(faults), seed=seed)
         return self
 
     def synthetic(self, shape: Optional[WorkloadShape] = None,
@@ -157,9 +203,8 @@ class Simulation:
         are replayed as-is for every policy — no defensive copies.
         """
         self._requests = list(requests)
-        self._workload = None
+        self._source = None
         self._stream = None
-        self._tenant_mix = None
         return self
 
     def stream(self, factory: Callable[[], Iterable[HostRequest]]
@@ -177,8 +222,7 @@ class Simulation:
                             "returning an iterable of HostRequest")
         self._stream = factory
         self._requests = None
-        self._workload = None
-        self._tenant_mix = None
+        self._source = None
         return self
 
     def tenants(self, *tenants, names: Optional[Sequence[str]] = None,
@@ -197,8 +241,7 @@ class Simulation:
             mix = TenantMix.coerce(list(tenants), num_requests=n, seed=seed)
         if names is not None:
             mix = TenantMix(tenants=mix.tenants, names=tuple(names))
-        self._tenant_mix = mix
-        self._workload = None
+        self._source = mix
         self._requests = None
         self._stream = None
         return self
@@ -265,12 +308,19 @@ class Simulation:
         return self
 
     def condition(self, condition: Union[Condition, tuple, None] = None, *,
-                  pec: int = 0, months: float = 0.0) -> "Simulation":
-        """Set the preconditioned operating condition."""
+                  pec: int = 0, months: float = 0.0,
+                  fill: float = DEFAULT_FILL_FRACTION) -> "Simulation":
+        """Set the preconditioned operating condition.
+
+        ``fill`` is the fraction of the logical space the precondition
+        pass writes (default 0.85); lower it when a fault plan retires
+        blocks mid-run and needs free-pool headroom.
+        """
         if condition is not None:
             self._condition = Condition.coerce(condition)
         else:
-            self._condition = Condition(pe_cycles=pec, retention_months=months)
+            self._condition = Condition(pe_cycles=pec, retention_months=months,
+                                        fill_fraction=fill)
         return self
 
     def rpt(self, rpt: ReadTimingParameterTable) -> "Simulation":
@@ -300,15 +350,15 @@ class Simulation:
                          else getattr(policy, "name", repr(policy))
                          for policy in self._policies],
         }
-        if self._workload is not None:
-            manifest["workload"] = self._workload.to_dict()
-        elif self._tenant_mix is not None:
-            manifest["workload"] = self._tenant_mix.to_dict()
+        if self._source is not None:
+            manifest["workload"] = source_to_dict(self._source)
         elif self._requests is not None:
             manifest["workload"] = {"explicit_requests": len(self._requests)}
         elif self._stream is not None:
             manifest["workload"] = {
                 "stream": getattr(self._stream, "__name__", "<stream>")}
+        if self._fault_plan:
+            manifest["faults"] = self._fault_plan.to_dict()
         if self._fleet_params is not None:
             fleet = {key: value for key, value in self._fleet_params.items()
                      if key != "processes"}
@@ -331,14 +381,15 @@ class Simulation:
         as-is (the simulator does not mutate them), so no copies are made
         on any path.
         """
-        if self._workload is not None:
-            return self._workload.iter_requests(self._config)
+        if self._source is not None:
+            return self._source.iter_requests(self._config)
         if self._requests is not None:
             return self._requests
         if self._stream is not None:
             return self._stream()
         raise ValueError("no workload configured; call .workload(), "
-                         ".synthetic(), .requests() or .stream() first")
+                         ".synthetic(), .pattern(), .requests() or "
+                         ".stream() first")
 
     def _fleet_spec(self):
         from repro.sim.fleet import FleetSpec
@@ -359,16 +410,14 @@ class Simulation:
                          device_conditions=device_conditions)
 
     def _fleet_source(self):
-        if self._tenant_mix is not None:
-            return self._tenant_mix
-        if self._workload is not None:
-            return self._workload
+        if self._source is not None:
+            return self._source
         if self._requests is not None:
             return self._requests
         raise ValueError(
             "fleet runs shard a declarative source; call .workload(), "
-            ".synthetic(), .tenants() or .requests() first (.stream() "
-            "factories cannot be re-sharded per device)")
+            ".synthetic(), .pattern(), .tenants() or .requests() first "
+            "(.stream() factories cannot be re-sharded per device)")
 
     def _run_fleet(self):
         from repro.sim.fleet import FleetRunner, SloCapacitySearch
@@ -381,6 +430,10 @@ class Simulation:
                              "registry names, not policy instances")
         policy_names = list(self._policies)
         if self._slo_params is not None:
+            if self._fault_plan:
+                raise ValueError("faults() cannot be combined with slo(): "
+                                 "the capacity search would bisect against "
+                                 "a transiently degraded array")
             if len(policy_names) != 1:
                 raise ValueError("slo() capacity search needs exactly one "
                                  "policy")
@@ -396,17 +449,19 @@ class Simulation:
             return search.find(self._fleet_source(), policy=policy_names[0],
                                start_rate_rps=params["start_rate_rps"])
         result = runner.run(self._fleet_source(), policies=policy_names,
-                            lookahead=self._lookahead)
+                            lookahead=self._lookahead,
+                            faults=self._fault_plan)
         result.manifest = dict(result.manifest, session=self.manifest())
         return result
 
     def _run_closed_loop(self) -> RunResult:
         from repro.workloads.closed_loop import ClosedLoopSource
 
-        if self._workload is None:
+        if not isinstance(self._source, WorkloadSpec):
             raise ValueError("closed_loop() draws request contents from a "
                              "workload spec; call .workload() or "
                              ".synthetic() first")
+        spec = self._source
         shared_rpt = self._rpt or ReadTimingParameterTable.default()
         params = self._closed_loop_params
         results: Dict[str, SimulationResult] = {}
@@ -420,18 +475,21 @@ class Simulation:
                                      rpt=shared_rpt)
             simulator.precondition(
                 pe_cycles=self._condition.pe_cycles,
-                retention_months=self._condition.retention_months)
+                retention_months=self._condition.retention_months,
+                fill_fraction=self._condition.fill_fraction)
+            if self._fault_plan is not None:
+                simulator.install_faults(self._fault_plan)
             source = ClosedLoopSource(
-                self._workload, config=self._config,
+                spec, config=self._config,
                 clients=params["clients"],
                 queue_depth=params["queue_depth"],
                 total_requests=params["total_requests"],
                 think_time_us=params["think_time_us"],
-                seed=self._workload.seed)
+                seed=spec.seed)
             result = simulator.run_closed_loop(source)
             results[result.policy_name] = result
         return RunResult(config=self._config, condition=self._condition,
-                         results=results, workload=self._workload,
+                         results=results, workload=spec,
                          manifest=self.manifest())
 
     def run(self):
@@ -450,13 +508,13 @@ class Simulation:
             return self._run_closed_loop()
         if self._fleet_params is not None or self._slo_params is not None:
             return self._run_fleet()
-        if self._tenant_mix is not None:
+        if getattr(self._source, "tracks_tenants", False):
             return self._run_tenant_device()
         return self._run_device()
 
     def _run_tenant_device(self) -> RunResult:
-        """A tenant mix on a single device (no fleet): stream the merge."""
-        mix = self._tenant_mix
+        """A tenant-tracking source on a single device: stream the merge."""
+        mix = self._source
         shared_rpt = self._rpt or ReadTimingParameterTable.default()
         results: Dict[str, SimulationResult] = {}
         for entry in self._policies:
@@ -469,7 +527,10 @@ class Simulation:
                                      rpt=shared_rpt, track_tenants=True)
             simulator.precondition(
                 pe_cycles=self._condition.pe_cycles,
-                retention_months=self._condition.retention_months)
+                retention_months=self._condition.retention_months,
+                fill_fraction=self._condition.fill_fraction)
+            if self._fault_plan is not None:
+                simulator.install_faults(self._fault_plan)
             stream = mix.iter_requests(self._config)
             if self._lookahead is not None:
                 result = simulator.run(stream, lookahead=self._lookahead)
@@ -494,7 +555,10 @@ class Simulation:
                                      rpt=shared_rpt)
             simulator.precondition(
                 pe_cycles=self._condition.pe_cycles,
-                retention_months=self._condition.retention_months)
+                retention_months=self._condition.retention_months,
+                fill_fraction=self._condition.fill_fraction)
+            if self._fault_plan is not None:
+                simulator.install_faults(self._fault_plan)
             stream = self._policy_stream()
             if (self._stream is not None and stream is previous_stream
                     and hasattr(stream, "__next__")):
@@ -525,5 +589,5 @@ class Simulation:
                     f"policies ({counts}); it must build an independent "
                     "iterable per call, not re-wrap one shared iterator")
         return RunResult(config=self._config, condition=self._condition,
-                         results=results, workload=self._workload,
+                         results=results, workload=self._source,
                          manifest=self.manifest())

@@ -18,7 +18,7 @@ from zlib import crc32
 
 from repro.ssd.config import SsdConfig
 from repro.ssd.request import HostRequest
-from repro.workloads.catalog import WORKLOAD_CATALOG, iter_workload
+from repro.workloads.catalog import WORKLOAD_CATALOG, catalog_workload
 from repro.workloads.synthetic import SyntheticWorkload, WorkloadShape
 
 #: Case-insensitive view of the Table 2 catalog ("ycsb-a" -> "YCSB-A").
@@ -42,6 +42,9 @@ class WorkloadSpec:
     carries an explicit :class:`~repro.workloads.synthetic.WorkloadShape`
     for a custom synthetic stream (exactly one of the two must be set).
     """
+
+    #: Source-registry tag for manifest round-trips (not a dataclass field).
+    source_kind = "workload"
 
     name: Optional[str] = None
     num_requests: int = 800
@@ -105,9 +108,10 @@ class WorkloadSpec:
         footprint = (self.footprint_pages(config) if footprint_pages is None
                      else int(footprint_pages * self.footprint_fraction))
         if self.name is not None:
-            return iter_workload(
-                self.name, self.num_requests, footprint, seed=self.seed,
-                mean_interarrival_us=self.mean_interarrival_us)
+            return catalog_workload(
+                self.name, footprint, seed=self.seed,
+                mean_interarrival_us=self.mean_interarrival_us,
+            ).iter_requests(self.num_requests)
         shape = self.shape
         if self.mean_interarrival_us is not None:
             shape = WorkloadShape(**{**asdict(shape),
@@ -161,18 +165,31 @@ class WorkloadSpec:
         raise TypeError(f"cannot build a WorkloadSpec from {value!r}")
 
 
+#: Default logical-space fill fraction used when preconditioning a device.
+DEFAULT_FILL_FRACTION = 0.85
+
+
 @dataclass(frozen=True)
 class Condition:
-    """The preconditioned (P/E cycles, retention age) of a simulated run."""
+    """The preconditioned (P/E cycles, retention age, fill) of a simulated run.
+
+    ``fill_fraction`` controls how much of the logical space the
+    precondition pass writes; lowering it leaves the FTL a larger free
+    pool — fault-injection scenarios that retire blocks mid-run need the
+    headroom.
+    """
 
     pe_cycles: int = 0
     retention_months: float = 0.0
+    fill_fraction: float = DEFAULT_FILL_FRACTION
 
     def __post_init__(self) -> None:
         if self.pe_cycles < 0:
             raise ValueError("pe_cycles must be non-negative")
         if self.retention_months < 0:
             raise ValueError("retention_months must be non-negative")
+        if not 0.0 < self.fill_fraction <= 1.0:
+            raise ValueError("fill_fraction must be in (0, 1]")
 
     def as_tuple(self) -> Tuple[int, float]:
         return (self.pe_cycles, self.retention_months)
@@ -186,8 +203,11 @@ class Condition:
         return f"{pec} PEC / {self.retention_months:g} mo"
 
     def to_dict(self) -> dict:
-        return {"pe_cycles": self.pe_cycles,
-                "retention_months": self.retention_months}
+        payload = {"pe_cycles": self.pe_cycles,
+                   "retention_months": self.retention_months}
+        if self.fill_fraction != DEFAULT_FILL_FRACTION:
+            payload["fill_fraction"] = self.fill_fraction
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Condition":
@@ -200,7 +220,9 @@ class Condition:
             return value
         if isinstance(value, dict):
             return cls.from_dict(value)
-        if isinstance(value, (tuple, list)) and len(value) == 2:
+        if isinstance(value, (tuple, list)) and len(value) in (2, 3):
+            fill = float(value[2]) if len(value) == 3 else DEFAULT_FILL_FRACTION
             return cls(pe_cycles=int(value[0]),
-                       retention_months=float(value[1]))
+                       retention_months=float(value[1]),
+                       fill_fraction=fill)
         raise TypeError(f"cannot build a Condition from {value!r}")

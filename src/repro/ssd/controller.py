@@ -53,6 +53,7 @@ from repro.errors.condition import OperatingCondition
 from repro.ssd.config import SsdConfig
 from repro.ssd.dftl import DftlMapper, TranslationOp
 from repro.ssd.engine import EventQueue
+from repro.ssd.faults import FaultInjector, FaultPlan
 from repro.ssd.flash_backend import FlashBackend
 from repro.ssd.ftl import FlashTranslationLayer, PhysicalPage
 from repro.ssd.gc import GarbageCollector
@@ -164,6 +165,17 @@ class SsdSimulator:
         self._cold_retention_months = 0.0
         self._preconditioned_pe_cycles = 0
         self._outstanding_requests = 0
+        #: Installed by :meth:`install_faults`; ``None`` keeps the read path
+        #: and the admission pump byte-for-byte on their fault-free code.
+        self._fault_injector: Optional[FaultInjector] = None
+        #: True while an in-stream BARRIER is draining the device: the
+        #: admission pump stalls until every admitted request completes.
+        self._barrier_active = False
+        #: Arrival time of the earliest barrier seen this run.  Requests
+        #: stamped after it may legitimately be admitted "late" (the drain
+        #: stalled the pump past their arrival time); they are admitted at
+        #: the current clock, so the barrier's cost lands in their latency.
+        self._barrier_stall_begin_us = float("inf")
         # Streaming admission state (valid only during run()).
         self._source: Optional[Iterator[HostRequest]] = None
         self._source_exhausted = True
@@ -224,6 +236,41 @@ class SsdSimulator:
         # grid immediately.  The fresh-write condition and GC-created P/E
         # levels fill lazily once their reads actually appear.
         self.backend.prefill_conditions([(pe_cycles, retention_months)])
+
+    # -- fault injection ------------------------------------------------------------
+    def install_faults(self, plan) -> None:
+        """Arm a :class:`~repro.ssd.faults.FaultPlan` for the next run.
+
+        An empty plan installs nothing, keeping the simulator on the exact
+        fault-free code path.  Call after :meth:`precondition` and before
+        :meth:`run`.
+        """
+        plan = FaultPlan.coerce(plan)
+        if not plan:
+            return
+        if self.dftl is None and any(spec.kind == "grown_bad_blocks"
+                                     for spec in plan.faults):
+            raise ValueError(
+                "grown_bad_blocks faults require the page-mapped FTL "
+                '(SsdConfig(mapping="page"))')
+        self._fault_injector = FaultInjector(plan, self)
+
+    def retire_bad_block(self, plane_index: int, block_id: int) -> None:
+        """Retire one grown-bad block, scheduling its remap flash traffic."""
+        operation = self.dftl.retire_block(plane_index, block_id,
+                                          self.events.now_us)
+        plane = self.dftl.planes[operation.plane_index]
+        for source, destination in zip(operation.relocations,
+                                       operation.destinations):
+            self._enqueue_gc_transaction(TransactionKind.GC_READ, source)
+            self._enqueue_gc_transaction(TransactionKind.GC_PROGRAM,
+                                         destination)
+            self.metrics.fault_remapped_pages += 1
+        self._issue_translation_ops(operation.translation_ops)
+        erase_target = PhysicalPage(plane.channel, plane.die, plane.plane,
+                                    operation.victim_block, 0)
+        self._enqueue_gc_transaction(TransactionKind.ERASE, erase_target)
+        self.metrics.grown_bad_blocks += 1
 
     # -- running ----------------------------------------------------------------------
     def run(self, requests: Iterable[HostRequest],
@@ -338,6 +385,8 @@ class SsdSimulator:
 
     def _pump(self) -> None:
         """Admit arrivals from the source until the lookahead window is full."""
+        if self._barrier_active:
+            return
         while (not self._source_exhausted
                and self._scheduled_arrivals < self._lookahead):
             try:
@@ -347,28 +396,80 @@ class SsdSimulator:
             except StopIteration:
                 self._source_exhausted = True
                 return
-            if request.arrival_us < self.events.now_us:
-                raise ValueError(
-                    f"request {request.request_id} arrives at "
-                    f"{request.arrival_us} us, before the admission pump's "
-                    f"clock ({self.events.now_us} us); streamed requests "
-                    "must be ordered by arrival time up to the lookahead "
-                    f"window (currently {self._lookahead} requests) — sort "
-                    "the stream or raise run(..., lookahead=N)")
+            arrival_us = request.arrival_us
+            if arrival_us < self.events.now_us:
+                if arrival_us >= self._barrier_stall_begin_us:
+                    # The request is late only because a barrier drained the
+                    # device past its stamped arrival; admit it now — the
+                    # stall becomes part of its measured response time.
+                    arrival_us = self.events.now_us
+                else:
+                    raise ValueError(
+                        f"request {request.request_id} arrives at "
+                        f"{request.arrival_us} us, before the admission "
+                        f"pump's clock ({self.events.now_us} us); streamed "
+                        "requests must be ordered by arrival time up to the "
+                        "lookahead window (currently "
+                        f"{self._lookahead} requests) — sort the stream or "
+                        "raise run(..., lookahead=N)")
             self._outstanding_requests += 1
             self._scheduled_arrivals += 1
             self.events.schedule(
-                request.arrival_us,
+                arrival_us,
                 lambda req=request: self._on_request_arrival(req))
 
     # -- host-request handling ------------------------------------------------------------
     def _on_request_arrival(self, request: HostRequest) -> None:
         self._scheduled_arrivals -= 1
         self._pump()
+        if self._fault_injector is not None:
+            self._fault_injector.poll(self.events.now_us)
         if request.kind is RequestKind.READ:
             self._start_read_request(request)
-        else:
+        elif request.kind is RequestKind.WRITE:
             self._admit_or_defer_write(request)
+        else:
+            self._handle_control_request(request)
+
+    def _handle_control_request(self, request: HostRequest) -> None:
+        """Apply an in-stream control event (DISCARD / BARRIER / MARK).
+
+        Control events move no data and are never recorded into the latency
+        histograms; they complete instantly at arrival (a barrier's cost
+        shows up as the admission stall it causes, not as its own latency).
+        """
+        now = self.events.now_us
+        if request.kind is RequestKind.DISCARD:
+            self.metrics.control_discards += 1
+            for lpn in request.lpns:
+                if self._discard_lpn(lpn % self.config.logical_pages):
+                    self.metrics.trimmed_pages += 1
+            self._run_gc_if_needed()
+        elif request.kind is RequestKind.BARRIER:
+            self.metrics.control_barriers += 1
+            self._barrier_active = True
+            self._barrier_stall_begin_us = min(self._barrier_stall_begin_us,
+                                               now)
+        else:
+            self.metrics.control_marks += 1
+        self._outstanding_requests -= 1
+        if self.on_request_complete is not None:
+            self.on_request_complete(request, now)
+        self._maybe_resume_after_barrier()
+
+    def _discard_lpn(self, lpn: int) -> bool:
+        """TRIM one logical page; True when it was actually mapped."""
+        if self.dftl is not None:
+            mapped = self.dftl.is_mapped(lpn)
+            ops = self.dftl.trim(lpn, self.events.now_us)
+            self._issue_translation_ops(ops)
+            return mapped
+        return self.ftl.trim(lpn)
+
+    def _maybe_resume_after_barrier(self) -> None:
+        if self._barrier_active and self._outstanding_requests == 0:
+            self._barrier_active = False
+            self._pump()
 
     def _start_read_request(self, request: HostRequest) -> None:
         self._read_progress[request.request_id] = _ReadProgress(
@@ -421,6 +522,7 @@ class SsdSimulator:
         self._run_gc_if_needed()
         if self.on_request_complete is not None:
             self.on_request_complete(request, now)
+        self._maybe_resume_after_barrier()
 
     def _issue_program(self, lpn: int, request: Optional[HostRequest]) -> None:
         if self.dftl is not None:
@@ -490,6 +592,15 @@ class SsdSimulator:
             retention = metadata.page_retention_months[transaction.page]
         behaviour = self.backend.read_behaviour(
             physical, page_type, pe_cycles, retention)
+        fault_extra = 0
+        fault_factor = 1.0
+        if self._fault_injector is not None:
+            self._fault_injector.record_read(physical)
+            self._fault_injector.poll(self.events.now_us)
+            fault_extra, fault_factor = self._fault_injector.read_penalty(
+                physical, self.events.now_us)
+            if fault_extra:
+                behaviour = behaviour.degraded(fault_extra)
         condition_key = (pe_cycles, retention)
         condition = self._condition_cache.get(condition_key)
         if condition is None:
@@ -515,6 +626,14 @@ class SsdSimulator:
             response_us += fallback.response_us
             die_busy_us += fallback.die_busy_us
             self.metrics.reduced_timing_fallbacks += 1
+
+        if fault_extra or fault_factor != 1.0:
+            # A degraded die/plane stretches the whole operation — sensing,
+            # transfer and decode alike — so the factor applies on top of
+            # whatever extra retry steps the fault already added.
+            response_us *= fault_factor
+            die_busy_us *= fault_factor
+            self.metrics.faulted_reads += 1
 
         transaction.retry_steps = breakdown.retry_steps
         transaction.response_us = response_us
@@ -550,6 +669,7 @@ class SsdSimulator:
             self._outstanding_requests -= 1
             if self.on_request_complete is not None:
                 self.on_request_complete(request, self.events.now_us)
+            self._maybe_resume_after_barrier()
 
     def _complete_host_program_page(self, transaction: FlashTransaction) -> None:
         self.write_buffer.release(1)

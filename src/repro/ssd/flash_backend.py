@@ -52,6 +52,20 @@ class ReadBehaviour:
     #: paper's characterization, but the mechanism handles it).
     reduced_timing_fallback: bool
 
+    def degraded(self, extra_steps: int) -> "ReadBehaviour":
+        """This behaviour with ``extra_steps`` more retry steps on both
+        timing variants — how fault injection (read-disturb storms,
+        degraded dies) worsens a read without touching the error model."""
+        if extra_steps < 0:
+            raise ValueError("extra_steps must be non-negative")
+        if extra_steps == 0:
+            return self
+        return ReadBehaviour(
+            retry_steps=self.retry_steps + extra_steps,
+            retry_steps_reduced=self.retry_steps_reduced + extra_steps,
+            reduced_timing_fallback=self.reduced_timing_fallback,
+        )
+
 
 class FlashBackend:
     """Maps physical reads to retry-step counts using the error model."""

@@ -215,6 +215,19 @@ class FlashTranslationLayer:
         self._mapping[lpn] = (plane_index, physical.block, physical.page)
         return physical, old_physical
 
+    def trim(self, lpn: int) -> bool:
+        """Unmap ``lpn`` (host TRIM/discard), invalidating its page.
+
+        :return: whether the LPN was mapped (a trim of a never-written or
+            already-trimmed page is a no-op).
+        """
+        entry = self._mapping.pop(lpn, None)
+        if entry is None:
+            return False
+        plane_index, block, page = entry
+        self.planes[plane_index].invalidate(block, page)
+        return True
+
     def set_uniform_pe_cycles(self, pe_cycles: int) -> None:
         """Install the experiment's P/E-cycle count on every block."""
         if pe_cycles < 0:

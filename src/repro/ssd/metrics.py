@@ -260,6 +260,14 @@ class SimulationMetrics:
         "reduced_timing_fallbacks",
         "grid_hits",
         "scalar_fallbacks",
+        "control_barriers",
+        "control_marks",
+        "control_discards",
+        "trimmed_pages",
+        "fault_injections",
+        "faulted_reads",
+        "grown_bad_blocks",
+        "fault_remapped_pages",
     )
 
     def __init__(self, record_samples: bool = False):
@@ -293,6 +301,20 @@ class SimulationMetrics:
         self.grid_hits = 0
         #: Reads that needed an exact scalar walk (cold condition).
         self.scalar_fallbacks = 0
+        #: In-stream control events (``RequestKind.BARRIER``/``MARK``/
+        #: ``DISCARD``) seen by the controller, and logical pages actually
+        #: unmapped by discards; all stay zero on control-free streams.
+        self.control_barriers = 0
+        self.control_marks = 0
+        self.control_discards = 0
+        self.trimmed_pages = 0
+        #: Fault-injection accounting (``repro.ssd.faults``): activated
+        #: fault specs, reads penalized by an active fault, blocks retired
+        #: as grown-bad, and valid pages relocated by those retirements.
+        self.fault_injections = 0
+        self.faulted_reads = 0
+        self.grown_bad_blocks = 0
+        self.fault_remapped_pages = 0
         self._read_samples: List[float] = []
         self._write_samples: List[float] = []
         self._retry_step_samples: List[int] = []
@@ -502,6 +524,14 @@ class SimulationMetrics:
             "reduced_timing_fallbacks": self.reduced_timing_fallbacks,
             "grid_hits": self.grid_hits,
             "scalar_fallbacks": self.scalar_fallbacks,
+            "control_barriers": self.control_barriers,
+            "control_marks": self.control_marks,
+            "control_discards": self.control_discards,
+            "trimmed_pages": self.trimmed_pages,
+            "fault_injections": self.fault_injections,
+            "faulted_reads": self.faulted_reads,
+            "grown_bad_blocks": self.grown_bad_blocks,
+            "fault_remapped_pages": self.fault_remapped_pages,
         }
 
 

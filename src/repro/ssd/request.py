@@ -26,6 +26,18 @@ from typing import List, Optional
 class RequestKind(enum.Enum):
     READ = "read"
     WRITE = "write"
+    #: Control events carried in-stream so the scheduler and FTL see them
+    #: in arrival order: TRIM/UNMAP of a logical range, a full-drain
+    #: barrier, and a zero-cost timestamp marker.  They move no data and
+    #: are never recorded into the latency histograms.
+    DISCARD = "discard"
+    BARRIER = "barrier"
+    MARK = "mark"
+
+    @property
+    def is_control(self) -> bool:
+        return self in (RequestKind.DISCARD, RequestKind.BARRIER,
+                        RequestKind.MARK)
 
 
 class TransactionKind(enum.Enum):
@@ -85,6 +97,10 @@ class HostRequest:
     @property
     def is_read(self) -> bool:
         return self.kind is RequestKind.READ
+
+    @property
+    def is_control(self) -> bool:
+        return self.kind.is_control
 
     @property
     def lpns(self) -> List[int]:

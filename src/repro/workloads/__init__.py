@@ -15,11 +15,21 @@ subpackage provides:
 * :mod:`repro.workloads.msrc` and :mod:`repro.workloads.ycsb` — presets that
   shape the generic generator like the respective suites;
 * :mod:`repro.workloads.catalog` — Table 2 itself, mapping workload names to
-  their parameters.
+  their parameters;
+* :mod:`repro.workloads.source` — the unified ``WorkloadSource`` protocol
+  every stream-producing object implements, plus its serialization
+  registry (``source_to_dict``/``source_from_dict``);
+* :mod:`repro.workloads.scenarios` — the adversarial access-pattern suite
+  (snake sweeps, hot/cold zones, burst trains, in-stream control events).
+
+The historical free-function entry points (``generate_workload``,
+``iter_workload``, ``make_msrc_workload``, ``make_ycsb_workload``) are
+deprecated shims over the protocol; they warn and forward.
 """
 
 from repro.workloads.trace import (
     TraceRecord,
+    TraceReplay,
     iter_msrc_csv,
     iter_records_to_requests,
     read_msrc_csv,
@@ -31,13 +41,49 @@ from repro.workloads.synthetic import SyntheticWorkload, WorkloadShape
 from repro.workloads.catalog import (
     WORKLOAD_CATALOG,
     WorkloadSpec,
+    catalog_workload,
     generate_workload,
     iter_workload,
     workload_names,
 )
+from repro.workloads.source import (
+    as_workload_source,
+    is_workload_source,
+    register_source,
+    source_from_dict,
+    source_kinds,
+    source_to_dict,
+)
+from repro.workloads.scenarios import (
+    PATTERNS,
+    BurstTrain,
+    ControlEvents,
+    DiurnalCycle,
+    HotColdZone,
+    SequentialThenRandomRead,
+    SnakeSweep,
+    StridedRead,
+    make_pattern,
+)
+def __getattr__(name):
+    # TenantMix and ClosedLoopSource import repro.sim.spec at module level,
+    # and repro.sim.spec imports repro.workloads.catalog — importing them
+    # eagerly here would deadlock whichever side loads second.  PEP 562
+    # lazy attributes break the cycle without changing the public surface.
+    if name == "TenantMix":
+        from repro.workloads.tenants import TenantMix
+
+        return TenantMix
+    if name == "ClosedLoopSource":
+        from repro.workloads.closed_loop import ClosedLoopSource
+
+        return ClosedLoopSource
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "TraceRecord",
+    "TraceReplay",
     "iter_msrc_csv",
     "read_msrc_csv",
     "write_msrc_csv",
@@ -49,6 +95,24 @@ __all__ = [
     "WorkloadSpec",
     "WORKLOAD_CATALOG",
     "workload_names",
+    "catalog_workload",
     "generate_workload",
     "iter_workload",
+    "as_workload_source",
+    "is_workload_source",
+    "register_source",
+    "source_from_dict",
+    "source_kinds",
+    "source_to_dict",
+    "PATTERNS",
+    "make_pattern",
+    "SequentialThenRandomRead",
+    "SnakeSweep",
+    "StridedRead",
+    "HotColdZone",
+    "BurstTrain",
+    "DiurnalCycle",
+    "ControlEvents",
+    "TenantMix",
+    "ClosedLoopSource",
 ]

@@ -7,13 +7,14 @@ equivalent request stream.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.ssd.request import HostRequest
-from repro.workloads.msrc import make_msrc_workload
+from repro.workloads.msrc import msrc_shape
 from repro.workloads.synthetic import SyntheticWorkload
-from repro.workloads.ycsb import make_ycsb_workload
+from repro.workloads.ycsb import ycsb_shape
 
 
 @dataclass(frozen=True)
@@ -38,8 +39,13 @@ class WorkloadSpec:
         """The paper calls workloads with read ratio >= 0.75 read-dominant."""
         return self.read_ratio >= 0.75
 
-    def build(self, footprint_pages: int, seed: int = 0,
-              mean_interarrival_us: float = None) -> SyntheticWorkload:
+    def build(
+        self,
+        footprint_pages: int,
+        seed: int = 0,
+        mean_interarrival_us: Optional[float] = None,
+        num_requests: Optional[int] = None,
+    ) -> SyntheticWorkload:
         """Instantiate the synthetic generator for this workload."""
         # Omitting the kwarg (rather than passing None) lets each suite
         # preset keep its own default arrival rate.
@@ -47,12 +53,14 @@ class WorkloadSpec:
         if mean_interarrival_us is not None:
             kwargs["mean_interarrival_us"] = mean_interarrival_us
         if self.suite == "MSRC":
-            factory = make_msrc_workload
+            shape = msrc_shape(self.read_ratio, self.cold_ratio, **kwargs)
         else:
-            factory = make_ycsb_workload
-            kwargs["scan_heavy"] = self.scan_heavy
-        return factory(self.read_ratio, self.cold_ratio, footprint_pages,
-                       seed=seed, **kwargs)
+            shape = ycsb_shape(
+                self.read_ratio, self.cold_ratio, scan_heavy=self.scan_heavy, **kwargs
+            )
+        return SyntheticWorkload(
+            shape, footprint_pages=footprint_pages, seed=seed, num_requests=num_requests
+        )
 
 
 #: Table 2, in the order the paper lists the workloads.
@@ -67,15 +75,15 @@ WORKLOAD_CATALOG: Dict[str, WorkloadSpec] = {
     "YCSB-B": WorkloadSpec("YCSB-B", "YCSB", read_ratio=0.99, cold_ratio=0.59),
     "YCSB-C": WorkloadSpec("YCSB-C", "YCSB", read_ratio=0.99, cold_ratio=0.60),
     "YCSB-D": WorkloadSpec("YCSB-D", "YCSB", read_ratio=0.98, cold_ratio=0.58),
-    "YCSB-E": WorkloadSpec("YCSB-E", "YCSB", read_ratio=0.99, cold_ratio=0.98,
-                           scan_heavy=True),
+    "YCSB-E": WorkloadSpec("YCSB-E", "YCSB", read_ratio=0.99, cold_ratio=0.98, scan_heavy=True),
     "YCSB-F": WorkloadSpec("YCSB-F", "YCSB", read_ratio=0.98, cold_ratio=0.87),
 }
 
 #: The paper splits Figure 14/15 into write-dominant and read-dominant groups.
 WRITE_DOMINANT_WORKLOADS: Tuple[str, ...] = ("stg_0", "hm_0")
 READ_DOMINANT_WORKLOADS: Tuple[str, ...] = tuple(
-    name for name in WORKLOAD_CATALOG if name not in WRITE_DOMINANT_WORKLOADS)
+    name for name in WORKLOAD_CATALOG if name not in WRITE_DOMINANT_WORKLOADS
+)
 
 
 def workload_names() -> List[str]:
@@ -83,39 +91,81 @@ def workload_names() -> List[str]:
     return list(WORKLOAD_CATALOG)
 
 
-def _catalog_workload(name: str, footprint_pages: int, seed: int,
-                      mean_interarrival_us: float) -> SyntheticWorkload:
+def catalog_workload(
+    name: str,
+    footprint_pages: int,
+    seed: int = 0,
+    mean_interarrival_us: Optional[float] = None,
+    num_requests: Optional[int] = None,
+) -> SyntheticWorkload:
+    """The named Table 2 workload as a ready ``SyntheticWorkload`` source."""
     if name not in WORKLOAD_CATALOG:
-        raise KeyError(f"unknown workload {name!r}; "
-                       f"available: {workload_names()}")
+        raise KeyError(f"unknown workload {name!r}; available: {workload_names()}")
     return WORKLOAD_CATALOG[name].build(
-        footprint_pages, seed=seed,
-        mean_interarrival_us=mean_interarrival_us)
+        footprint_pages,
+        seed=seed,
+        mean_interarrival_us=mean_interarrival_us,
+        num_requests=num_requests,
+    )
 
 
-def generate_workload(name: str, num_requests: int, footprint_pages: int,
-                      seed: int = 0,
-                      mean_interarrival_us: float = None) -> List[HostRequest]:
-    """Generate a request stream for a named Table 2 workload."""
-    return list(iter_workload(name, num_requests, footprint_pages, seed=seed,
-                              mean_interarrival_us=mean_interarrival_us))
+def generate_workload(
+    name: str,
+    num_requests: int,
+    footprint_pages: int,
+    seed: int = 0,
+    mean_interarrival_us: Optional[float] = None,
+) -> List[HostRequest]:
+    """Generate a request stream for a named Table 2 workload.
+
+    .. deprecated:: use ``repro.sim.WorkloadSpec(name=...).build_requests(config)``
+        or :func:`catalog_workload` directly.
+    """
+    warnings.warn(
+        "generate_workload is deprecated; use repro.sim.WorkloadSpec or "
+        "catalog_workload(...).generate(...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return list(
+        catalog_workload(
+            name, footprint_pages, seed=seed, mean_interarrival_us=mean_interarrival_us
+        ).iter_requests(num_requests)
+    )
 
 
-def iter_workload(name: str, num_requests: int, footprint_pages: int,
-                  seed: int = 0,
-                  mean_interarrival_us: float = None) -> Iterator[HostRequest]:
-    """Stream a named Table 2 workload lazily (same draws as generate)."""
-    workload = _catalog_workload(name, footprint_pages, seed,
-                                 mean_interarrival_us)
-    return workload.iter_requests(num_requests)
+def iter_workload(
+    name: str,
+    num_requests: int,
+    footprint_pages: int,
+    seed: int = 0,
+    mean_interarrival_us: Optional[float] = None,
+) -> Iterator[HostRequest]:
+    """Stream a named Table 2 workload lazily (same draws as generate).
+
+    .. deprecated:: use ``repro.sim.WorkloadSpec(name=...).iter_requests(config)``
+        or :func:`catalog_workload` directly.
+    """
+    warnings.warn(
+        "iter_workload is deprecated; use repro.sim.WorkloadSpec or "
+        "catalog_workload(...).iter_requests(...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return catalog_workload(
+        name, footprint_pages, seed=seed, mean_interarrival_us=mean_interarrival_us
+    ).iter_requests(num_requests)
 
 
 def table2_rows() -> List[dict]:
     """Table 2 rendered as printable rows."""
-    return [{
-        "workload": spec.name,
-        "suite": spec.suite,
-        "read_ratio": spec.read_ratio,
-        "cold_ratio": spec.cold_ratio,
-        "class": "read-dominant" if spec.read_dominant else "write-dominant",
-    } for spec in WORKLOAD_CATALOG.values()]
+    return [
+        {
+            "workload": spec.name,
+            "suite": spec.suite,
+            "read_ratio": spec.read_ratio,
+            "cold_ratio": spec.cold_ratio,
+            "class": "read-dominant" if spec.read_dominant else "write-dominant",
+        }
+        for spec in WORKLOAD_CATALOG.values()
+    ]

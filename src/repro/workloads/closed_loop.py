@@ -35,6 +35,12 @@ from repro.ssd.request import HostRequest
 class ClosedLoopSource:
     """Generates per-client request chains for a closed-loop run.
 
+    Implements the ``WorkloadSource`` manifest protocol
+    (``to_dict``/``from_dict``/``label``); its stream, however, *reacts to
+    completions*, so open-loop iteration is refused — drive it with
+    :meth:`~repro.ssd.controller.SsdSimulator.run_closed_loop` (or
+    ``Simulation.closed_loop()``).
+
     :param spec: what the requests look like (catalog name, shape or spec);
         its arrival times are ignored — arrivals come from completions.
     :param config: the simulated device (sizes the address footprint).
@@ -47,6 +53,11 @@ class ClosedLoopSource:
     :param logical_pages: optional override of the addressable page count
         (a fleet would pass the array size).
     """
+
+    #: Source-registry tag for manifest round-trips.
+    source_kind = "closed_loop"
+    #: Closed-loop runs attribute latency per client (``queue_id``).
+    tracks_tenants = True
 
     def __init__(
         self,
@@ -68,11 +79,13 @@ class ClosedLoopSource:
         if think_time_us < 0:
             raise ValueError("think_time_us must be non-negative")
         self.config = config or SsdConfig.scaled()
+        self.spec = WorkloadSpec.coerce(spec)
         self.clients = clients
         self.queue_depth = queue_depth
         self.total_requests = total_requests
         self.think_time_us = think_time_us
         self.seed = seed
+        self.logical_pages = logical_pages
         # Each client draws from its own independently seeded stream; the
         # spec's own request budget is irrelevant (the source stops at
         # total_requests), so size each stream to the worst case.
@@ -108,6 +121,47 @@ class ClosedLoopSource:
         followup = self._next_request(
             client, arrival_us=now_us + self.think_time_us)
         return [] if followup is None else [followup]
+
+    # -- WorkloadSource protocol -----------------------------------------------
+    def iter_requests(self, config, footprint_pages=None):
+        """Refused: closed-loop arrivals depend on completions.
+
+        The protocol method exists so manifests can serialize the source,
+        but an open-loop iteration cannot reproduce a reactive arrival
+        process — use :meth:`repro.ssd.controller.SsdSimulator.run_closed_loop`
+        (``Simulation.closed_loop()``) instead.
+        """
+        raise RuntimeError(
+            "closed-loop sources react to completions and cannot be "
+            "iterated open-loop; drive them with Simulation.closed_loop() "
+            "or SsdSimulator.run_closed_loop()")
+
+    @property
+    def label(self) -> str:
+        return f"closed_loop({self.spec.label})"
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "clients": self.clients,
+            "queue_depth": self.queue_depth,
+            "total_requests": self.total_requests,
+            "think_time_us": self.think_time_us,
+            "seed": self.seed,
+            "logical_pages": self.logical_pages,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ClosedLoopSource":
+        return cls(
+            spec=WorkloadSpec.from_dict(payload["spec"]),
+            clients=payload.get("clients", 4),
+            queue_depth=payload.get("queue_depth", 1),
+            total_requests=payload.get("total_requests", 1000),
+            think_time_us=payload.get("think_time_us", 0.0),
+            seed=payload.get("seed", 0),
+            logical_pages=payload.get("logical_pages"),
+        )
 
     # -- internals -------------------------------------------------------------
     def _next_request(self, client: int,

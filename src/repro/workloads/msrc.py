@@ -9,11 +9,16 @@ requests and no particular popularity skew beyond the hot/cold split.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.workloads.synthetic import SyntheticWorkload, WorkloadShape
 
 
-def msrc_shape(read_ratio: float, cold_ratio: float,
-               mean_interarrival_us: float = 300.0) -> WorkloadShape:
+def msrc_shape(
+    read_ratio: float,
+    cold_ratio: float,
+    mean_interarrival_us: float = 300.0,
+) -> WorkloadShape:
     """Enterprise-trace flavour of the synthetic generator."""
     return WorkloadShape(
         read_ratio=read_ratio,
@@ -26,10 +31,27 @@ def msrc_shape(read_ratio: float, cold_ratio: float,
     )
 
 
-def make_msrc_workload(read_ratio: float, cold_ratio: float,
-                       footprint_pages: int, seed: int = 0,
-                       mean_interarrival_us: float = 300.0) -> SyntheticWorkload:
-    """A ready-to-generate MSRC-style workload."""
+def make_msrc_workload(
+    read_ratio: float,
+    cold_ratio: float,
+    footprint_pages: int,
+    seed: int = 0,
+    mean_interarrival_us: float = 300.0,
+) -> SyntheticWorkload:
+    """A ready-to-generate MSRC-style workload.
+
+    .. deprecated:: construct ``SyntheticWorkload(msrc_shape(...), ...)``
+        directly, or go through the unified source API
+        (``repro.sim.WorkloadSpec`` / ``repro.workloads.source``).
+    """
+    warnings.warn(
+        "make_msrc_workload is deprecated; use "
+        "SyntheticWorkload(msrc_shape(...), ...) or repro.sim.WorkloadSpec instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return SyntheticWorkload(
         msrc_shape(read_ratio, cold_ratio, mean_interarrival_us),
-        footprint_pages=footprint_pages, seed=seed)
+        footprint_pages=footprint_pages,
+        seed=seed,
+    )

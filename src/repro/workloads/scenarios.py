@@ -1,0 +1,427 @@
+"""Composable adversarial access patterns, arrival modulators and control
+events.
+
+This is the scenario vocabulary the ROADMAP's adversarial-suite item calls
+for, in the spirit of wiscsee's patternsuite: four deterministic access
+patterns (sequential-then-random read, snake sweep, strided read, hot/cold
+zone), two non-stationary arrival modulators (burst trains, diurnal cycle)
+that wrap *any* workload source, and a control-event wrapper that weaves
+barriers, timestamp markers and discards into a base stream.
+
+Everything here implements the ``WorkloadSource`` protocol
+(:mod:`repro.workloads.source`): ``iter_requests(config,
+footprint_pages=None)`` yields a fresh :class:`HostRequest` stream,
+``to_dict``/``from_dict`` round-trip through run manifests (wrappers nest
+their base source's payload), and composition is plain construction —
+``BurstTrain(HotColdZone(...))`` is a source like any other, so sessions,
+sweeps, fleets and closed-loop drivers take scenarios without special
+cases.
+
+All randomness is seeded ``numpy`` generators; a scenario replayed with
+the same seed produces the identical stream, which is what lets the
+zero-fault bitwise-identity guarantees extend to scenario runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import ClassVar, Iterator, Optional
+
+import numpy as np
+
+from repro.ssd.request import HostRequest, RequestKind
+
+
+class _PatternSource:
+    """Shared machinery of the leaf access patterns.
+
+    Subclasses are frozen dataclasses providing ``_accesses(footprint,
+    rng)`` — a generator of ``(kind, lpn, page_count)`` triples — plus the
+    common ``num_requests`` / ``footprint_fraction`` /
+    ``mean_interarrival_us`` / ``seed`` fields; arrival stamping and
+    manifest round-trip live here.
+    """
+
+    def _footprint(self, config, footprint_pages: Optional[int]) -> int:
+        if footprint_pages is not None:
+            return max(1, int(footprint_pages))
+        return max(1, int(config.logical_pages * self.footprint_fraction))
+
+    def iter_requests(self, config, footprint_pages: Optional[int] = None
+                      ) -> Iterator[HostRequest]:
+        rng = np.random.default_rng(self.seed)
+        footprint = self._footprint(config, footprint_pages)
+        now_us = 0.0
+        for kind, lpn, page_count in self._accesses(footprint, rng):
+            now_us += rng.exponential(self.mean_interarrival_us)
+            yield HostRequest(arrival_us=now_us, kind=kind, start_lpn=lpn,
+                              page_count=page_count)
+
+    def to_dict(self) -> dict:
+        return {item.name: getattr(self, item.name) for item in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "_PatternSource":
+        return cls(**payload)
+
+    @property
+    def label(self) -> str:
+        return self.source_kind
+
+
+@dataclass(frozen=True)
+class SequentialThenRandomRead(_PatternSource):
+    """A sequential read sweep that degenerates into uniform random reads.
+
+    The canonical readahead/prefetch stressor: the first
+    ``sequential_fraction`` of the requests walk the footprint in order,
+    the rest jump uniformly — any locality the device inferred becomes a
+    liability.
+    """
+
+    source_kind: ClassVar[str] = "seq_then_random"
+
+    num_requests: int = 800
+    sequential_fraction: float = 0.5
+    footprint_fraction: float = 0.8
+    mean_interarrival_us: float = 100.0
+    page_count: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be at least 1")
+        if not 0.0 <= self.sequential_fraction <= 1.0:
+            raise ValueError("sequential_fraction must be in [0, 1]")
+
+    def _accesses(self, footprint: int, rng) -> Iterator[tuple]:
+        sequential = int(self.num_requests * self.sequential_fraction)
+        for index in range(self.num_requests):
+            if index < sequential:
+                lpn = (index * self.page_count) % footprint
+            else:
+                lpn = int(rng.integers(footprint))
+            yield RequestKind.READ, lpn, self.page_count
+
+
+@dataclass(frozen=True)
+class SnakeSweep(_PatternSource):
+    """A zigzag read sweep: up the footprint, then back down, repeatedly.
+
+    Every page is touched with maximal direction changes at the edges —
+    the pattern wiscsee uses to defeat sequential-stream detection while
+    keeping perfect coverage.
+    """
+
+    source_kind: ClassVar[str] = "snake"
+
+    num_requests: int = 800
+    footprint_fraction: float = 0.8
+    mean_interarrival_us: float = 100.0
+    page_count: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be at least 1")
+
+    def _accesses(self, footprint: int, rng) -> Iterator[tuple]:
+        position = 0
+        direction = 1
+        step = self.page_count
+        for _ in range(self.num_requests):
+            yield RequestKind.READ, position, self.page_count
+            upcoming = position + direction * step
+            if upcoming < 0 or upcoming >= footprint:
+                direction = -direction
+                upcoming = position + direction * step
+                if upcoming < 0 or upcoming >= footprint:
+                    upcoming = position  # footprint smaller than one step
+            position = upcoming
+
+
+@dataclass(frozen=True)
+class StridedRead(_PatternSource):
+    """Reads at a fixed stride, wrapping around the footprint.
+
+    A stride co-prime with the footprint visits every page in a
+    cache-hostile order; a stride matching the die striping concentrates
+    all traffic on a fraction of the dies.
+    """
+
+    source_kind: ClassVar[str] = "stride"
+
+    num_requests: int = 800
+    stride: int = 7
+    footprint_fraction: float = 0.8
+    mean_interarrival_us: float = 100.0
+    page_count: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be at least 1")
+        if self.stride < 1:
+            raise ValueError("stride must be at least 1")
+
+    def _accesses(self, footprint: int, rng) -> Iterator[tuple]:
+        for index in range(self.num_requests):
+            lpn = (index * self.stride * self.page_count) % footprint
+            yield RequestKind.READ, lpn, self.page_count
+
+
+@dataclass(frozen=True)
+class HotColdZone(_PatternSource):
+    """A small hot zone absorbing most traffic over a cold majority.
+
+    ``hot_fraction`` of the footprint receives ``hot_access_fraction`` of
+    the accesses; writes are confined to the hot zone, so the cold pages
+    keep their preconditioned retention age while the hot blocks rack up
+    read counts — the natural prey for a read-disturb storm.
+    """
+
+    source_kind: ClassVar[str] = "hot_cold"
+
+    num_requests: int = 800
+    hot_fraction: float = 0.1
+    hot_access_fraction: float = 0.9
+    read_ratio: float = 0.7
+    footprint_fraction: float = 0.8
+    mean_interarrival_us: float = 100.0
+    page_count: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be at least 1")
+        if not 0.0 < self.hot_fraction < 1.0:
+            raise ValueError("hot_fraction must be in (0, 1)")
+        if not 0.0 <= self.hot_access_fraction <= 1.0:
+            raise ValueError("hot_access_fraction must be in [0, 1]")
+        if not 0.0 <= self.read_ratio <= 1.0:
+            raise ValueError("read_ratio must be in [0, 1]")
+
+    def _accesses(self, footprint: int, rng) -> Iterator[tuple]:
+        hot_pages = max(1, int(footprint * self.hot_fraction))
+        cold_pages = max(1, footprint - hot_pages)
+        for _ in range(self.num_requests):
+            is_read = rng.random() < self.read_ratio
+            if is_read and rng.random() >= self.hot_access_fraction:
+                lpn = hot_pages + int(rng.integers(cold_pages))
+            else:
+                lpn = int(rng.integers(hot_pages))
+            kind = RequestKind.READ if is_read else RequestKind.WRITE
+            yield kind, lpn, self.page_count
+
+
+class _WrapperSource:
+    """Shared machinery of the sources that wrap a base source."""
+
+    @property
+    def tracks_tenants(self) -> bool:
+        return getattr(self.base, "tracks_tenants", False)
+
+    @property
+    def label(self) -> str:
+        base_label = getattr(self.base, "label", type(self.base).__name__)
+        return f"{self.source_kind}({base_label})"
+
+    def _base_payload(self) -> dict:
+        from repro.workloads.source import source_to_dict
+
+        return source_to_dict(self.base)
+
+    @classmethod
+    def _coerce_base(cls, payload):
+        from repro.workloads.source import source_from_dict
+
+        return source_from_dict(payload)
+
+
+@dataclass(frozen=True)
+class BurstTrain(_WrapperSource):
+    """Compress a base stream's arrivals into bursts separated by idle gaps.
+
+    Inter-arrival gaps inside a burst of ``burst_length`` requests shrink
+    by ``compression``; the gap opening each new burst stretches by
+    ``idle_factor``.  Queue depth spikes during bursts while the long-run
+    request mix is untouched.
+    """
+
+    base: object
+    burst_length: int = 32
+    compression: float = 8.0
+    idle_factor: float = 4.0
+
+    source_kind: ClassVar[str] = "burst_train"
+
+    def __post_init__(self) -> None:
+        if self.burst_length < 2:
+            raise ValueError("burst_length must be at least 2")
+        if self.compression < 1.0:
+            raise ValueError("compression must be at least 1.0")
+        if self.idle_factor < 1.0:
+            raise ValueError("idle_factor must be at least 1.0")
+
+    def iter_requests(self, config, footprint_pages: Optional[int] = None
+                      ) -> Iterator[HostRequest]:
+        now_us = 0.0
+        previous_us = 0.0
+        for index, request in enumerate(
+                self.base.iter_requests(config, footprint_pages)):
+            gap = request.arrival_us - previous_us
+            previous_us = request.arrival_us
+            if index and index % self.burst_length == 0:
+                now_us += gap * self.idle_factor
+            else:
+                now_us += gap / self.compression
+            request.arrival_us = now_us
+            yield request
+
+    def to_dict(self) -> dict:
+        return {"base": self._base_payload(),
+                "burst_length": self.burst_length,
+                "compression": self.compression,
+                "idle_factor": self.idle_factor}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BurstTrain":
+        payload = dict(payload)
+        base = cls._coerce_base(payload.pop("base"))
+        return cls(base=base, **payload)
+
+
+@dataclass(frozen=True)
+class DiurnalCycle(_WrapperSource):
+    """Sinusoidally modulate a base stream's arrival rate over time.
+
+    Each inter-arrival gap is scaled by ``1 - amplitude * sin(2π t /
+    period_us)``, so the stream alternates between rush hours (gaps up to
+    ``1 - amplitude`` of nominal) and quiet valleys — the diurnal load
+    cycle every fleet sees, squeezed onto simulation timescales.
+    """
+
+    base: object
+    period_us: float = 50_000.0
+    amplitude: float = 0.5
+
+    source_kind: ClassVar[str] = "diurnal"
+
+    def __post_init__(self) -> None:
+        if self.period_us <= 0:
+            raise ValueError("period_us must be positive")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+
+    def iter_requests(self, config, footprint_pages: Optional[int] = None
+                      ) -> Iterator[HostRequest]:
+        now_us = 0.0
+        previous_us = 0.0
+        for request in self.base.iter_requests(config, footprint_pages):
+            gap = request.arrival_us - previous_us
+            previous_us = request.arrival_us
+            phase = math.sin(2.0 * math.pi * now_us / self.period_us)
+            now_us += gap * (1.0 - self.amplitude * phase)
+            request.arrival_us = now_us
+            yield request
+
+    def to_dict(self) -> dict:
+        return {"base": self._base_payload(), "period_us": self.period_us,
+                "amplitude": self.amplitude}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DiurnalCycle":
+        payload = dict(payload)
+        base = cls._coerce_base(payload.pop("base"))
+        return cls(base=base, **payload)
+
+
+@dataclass(frozen=True)
+class ControlEvents(_WrapperSource):
+    """Weave control requests (barrier / mark / discard) into a base stream.
+
+    Every ``barrier_every``-th data request is followed by a BARRIER (the
+    pump drains the device before admitting more), every ``mark_every``-th
+    by a zero-cost timestamp MARK, and every ``discard_every``-th by a
+    DISCARD of ``discard_pages`` pages starting at that request's LPN — so
+    the FTL sees TRIMs of just-touched, definitely-mapped space.  A cadence
+    of 0 disables that event kind.
+    """
+
+    base: object
+    barrier_every: int = 0
+    mark_every: int = 0
+    discard_every: int = 0
+    discard_pages: int = 1
+
+    source_kind: ClassVar[str] = "control_events"
+
+    def __post_init__(self) -> None:
+        for name in ("barrier_every", "mark_every", "discard_every"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.discard_pages < 1:
+            raise ValueError("discard_pages must be at least 1")
+
+    def iter_requests(self, config, footprint_pages: Optional[int] = None
+                      ) -> Iterator[HostRequest]:
+        for index, request in enumerate(
+                self.base.iter_requests(config, footprint_pages), start=1):
+            yield request
+            if self.discard_every and index % self.discard_every == 0:
+                yield HostRequest(arrival_us=request.arrival_us,
+                                  kind=RequestKind.DISCARD,
+                                  start_lpn=request.start_lpn,
+                                  page_count=self.discard_pages,
+                                  queue_id=request.queue_id)
+            if self.mark_every and index % self.mark_every == 0:
+                yield HostRequest(arrival_us=request.arrival_us,
+                                  kind=RequestKind.MARK,
+                                  start_lpn=0,
+                                  queue_id=request.queue_id)
+            if self.barrier_every and index % self.barrier_every == 0:
+                yield HostRequest(arrival_us=request.arrival_us,
+                                  kind=RequestKind.BARRIER,
+                                  start_lpn=0,
+                                  queue_id=request.queue_id)
+
+    def to_dict(self) -> dict:
+        return {"base": self._base_payload(),
+                "barrier_every": self.barrier_every,
+                "mark_every": self.mark_every,
+                "discard_every": self.discard_every,
+                "discard_pages": self.discard_pages}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ControlEvents":
+        payload = dict(payload)
+        base = cls._coerce_base(payload.pop("base"))
+        return cls(base=base, **payload)
+
+
+#: The leaf patterns, by the short names ``make_pattern`` and the session's
+#: ``.pattern(...)`` accept.
+PATTERNS = {
+    SequentialThenRandomRead.source_kind: SequentialThenRandomRead,
+    SnakeSweep.source_kind: SnakeSweep,
+    StridedRead.source_kind: StridedRead,
+    HotColdZone.source_kind: HotColdZone,
+}
+
+#: Every scenario class the source registry registers.
+SCENARIO_SOURCES = (SequentialThenRandomRead, SnakeSweep, StridedRead,
+                    HotColdZone, BurstTrain, DiurnalCycle, ControlEvents)
+
+
+def make_pattern(name: str, **kwargs):
+    """Build a leaf access pattern by its short name.
+
+    >>> make_pattern("snake", num_requests=100).source_kind
+    'snake'
+    """
+    cls = PATTERNS.get(name)
+    if cls is None:
+        raise KeyError(
+            f"unknown pattern {name!r}; available: {sorted(PATTERNS)}")
+    return cls(**kwargs)

@@ -63,15 +63,28 @@ class WorkloadShape:
 
 
 class SyntheticWorkload:
-    """Generates :class:`HostRequest` streams with a prescribed shape."""
+    """Generates :class:`HostRequest` streams with a prescribed shape.
+
+    Implements the unified ``WorkloadSource`` protocol
+    (:mod:`repro.workloads.source`): construct with ``num_requests`` and
+    call ``iter_requests(config)`` like any other source, or keep using
+    the historical ``iter_requests(num_requests)`` form — the first
+    argument's type selects the path.
+    """
+
+    #: Source-registry tag for manifest round-trips.
+    source_kind = "synthetic"
 
     def __init__(self, shape: WorkloadShape, footprint_pages: int,
-                 seed: int = 0):
+                 seed: int = 0, num_requests: Optional[int] = None):
         if footprint_pages < 16:
             raise ValueError("footprint_pages must be at least 16")
+        if num_requests is not None and num_requests <= 0:
+            raise ValueError("num_requests must be positive when given")
         self.shape = shape
         self.footprint_pages = footprint_pages
         self.seed = seed
+        self.num_requests = num_requests
         self._cold_pages = int(footprint_pages * shape.cold_region_fraction)
         self._hot_pages = footprint_pages - self._cold_pages
         if self._cold_pages < 4 or self._hot_pages < 4:
@@ -84,9 +97,20 @@ class SyntheticWorkload:
         return list(self.iter_requests(num_requests,
                                        start_time_us=start_time_us))
 
-    def iter_requests(self, num_requests: int,
-                      start_time_us: float = 0.0) -> Iterator[HostRequest]:
+    def iter_requests(self, num_requests=None, start_time_us: float = 0.0,
+                      footprint_pages: Optional[int] = None
+                      ) -> Iterator[HostRequest]:
         """Yield the stream lazily, one request at a time.
+
+        Two calling conventions share this entry point:
+
+        * historical: ``iter_requests(num_requests)`` with an integer
+          request count;
+        * ``WorkloadSource`` protocol: ``iter_requests(config,
+          footprint_pages=None)`` — the request count comes from the
+          constructor's ``num_requests`` and a ``footprint_pages``
+          override re-scopes the address space (the fleet passes the
+          array's logical size).
 
         Draws the identical request sequence as :meth:`generate` (which is
         just ``list(iter_requests(...))``) but holds O(1) state, so a
@@ -95,6 +119,27 @@ class SyntheticWorkload:
         materialized.  Arrival times are nondecreasing by construction,
         which is what the simulator's bounded-lookahead pump requires.
         """
+        if num_requests is not None and not isinstance(num_requests, int):
+            # Protocol form: the first positional is an SsdConfig-like
+            # object (only its logical space matters, and only via the
+            # explicit footprint override — the footprint was fixed at
+            # construction).
+            if self.num_requests is None:
+                raise ValueError(
+                    "construct SyntheticWorkload(..., num_requests=N) to "
+                    "use it through the WorkloadSource protocol")
+            if (footprint_pages is not None
+                    and footprint_pages != self.footprint_pages):
+                rescoped = SyntheticWorkload(
+                    self.shape, footprint_pages, seed=self.seed,
+                    num_requests=self.num_requests)
+                return rescoped.iter_requests(self.num_requests)
+            return self.iter_requests(self.num_requests)
+        if num_requests is None:
+            if self.num_requests is None:
+                raise ValueError(
+                    "pass num_requests (or construct the workload with one)")
+            num_requests = self.num_requests
         # Validate eagerly (this is not the generator itself) so a bad
         # request count raises at the call site, not on first iteration
         # deep inside the admission pump.
@@ -217,3 +262,26 @@ class SyntheticWorkload:
             "read_ratio": len(reads) / len(requests),
             "cold_ratio": (cold_reads / len(reads)) if reads else 0.0,
         }
+
+    # -- WorkloadSource protocol --------------------------------------------------------
+    @property
+    def label(self) -> str:
+        return (f"synthetic(r{self.shape.read_ratio:g}"
+                f"-c{self.shape.cold_ratio:g})")
+
+    def to_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return {
+            "shape": asdict(self.shape),
+            "footprint_pages": self.footprint_pages,
+            "seed": self.seed,
+            "num_requests": self.num_requests,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SyntheticWorkload":
+        return cls(shape=WorkloadShape(**payload["shape"]),
+                   footprint_pages=payload["footprint_pages"],
+                   seed=payload.get("seed", 0),
+                   num_requests=payload.get("num_requests"))

@@ -34,6 +34,11 @@ from repro.ssd.request import HostRequest
 class TenantMix:
     """An arrival-ordered merge of per-tenant workload streams."""
 
+    #: Source-registry tag for manifest round-trips.
+    source_kind = "tenant_mix"
+    #: Runs driven by this source keep per-tenant latency histograms.
+    tracks_tenants = True
+
     tenants: Tuple[WorkloadSpec, ...]
     #: Optional display names, parallel to ``tenants`` (default: the specs'
     #: workload labels, disambiguated by tenant index).
@@ -82,16 +87,18 @@ class TenantMix:
         )
 
     def iter_requests(
-        self, config: SsdConfig, logical_pages: Optional[int] = None
+        self, config: SsdConfig, footprint_pages: Optional[int] = None
     ) -> Iterator[HostRequest]:
         """Stream the merged mix, ordered by arrival time.
 
-        ``logical_pages`` overrides the addressable page count the tenant
+        ``footprint_pages`` overrides the addressable page count the tenant
         slices are carved from (the fleet passes the *array's* logical size
-        here; a plain device run uses the config's own).  Each yielded
-        request carries its tenant index in ``queue_id``.
+        here; a plain device run uses the config's own), matching the
+        ``WorkloadSource`` protocol.  Each yielded request carries its
+        tenant index in ``queue_id``.
         """
-        pages = config.logical_pages if logical_pages is None else logical_pages
+        pages = (config.logical_pages if footprint_pages is None
+                 else footprint_pages)
         streams = [
             self._tagged(spec, config, index, start, size)
             for index, (spec, (start, size)) in enumerate(

@@ -13,9 +13,10 @@ page-granularity :class:`repro.ssd.request.HostRequest` objects.
 from __future__ import annotations
 
 import csv
+import os
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, TextIO, Union
+from typing import ClassVar, Iterable, Iterator, List, Optional, TextIO, Union
 
 from repro.ssd.request import HostRequest, RequestKind
 
@@ -163,3 +164,53 @@ def records_to_requests(records: Iterable[TraceRecord],
     return list(iter_records_to_requests(records,
                                          page_size_bytes=page_size_bytes,
                                          logical_pages=logical_pages))
+
+
+@dataclass(frozen=True)
+class TraceReplay:
+    """An on-disk MSRC-format trace as a ``WorkloadSource``.
+
+    Wraps :func:`iter_msrc_csv` + :func:`iter_records_to_requests` behind
+    the unified workload-source protocol, so a trace file composes with
+    sessions, fleets, scenario modulators and manifests exactly like a
+    synthetic workload.  Iteration is fully streaming — the trace is never
+    materialized.
+    """
+
+    path: str
+    max_records: Optional[int] = None
+    page_size_bytes: int = 16 * 1024
+
+    source_kind: ClassVar[str] = "trace_replay"
+
+    def __post_init__(self) -> None:
+        if self.page_size_bytes <= 0:
+            raise ValueError("page_size_bytes must be positive")
+        if self.max_records is not None and self.max_records < 1:
+            raise ValueError("max_records must be positive when given")
+
+    def iter_requests(self, config, footprint_pages: Optional[int] = None
+                      ) -> Iterator[HostRequest]:
+        pages = (footprint_pages if footprint_pages is not None
+                 else config.logical_pages)
+        return iter_records_to_requests(
+            iter_msrc_csv(self.path, max_records=self.max_records),
+            page_size_bytes=self.page_size_bytes,
+            logical_pages=pages)
+
+    def to_dict(self) -> dict:
+        payload = {"path": self.path}
+        if self.max_records is not None:
+            payload["max_records"] = self.max_records
+        if self.page_size_bytes != 16 * 1024:
+            payload["page_size_bytes"] = self.page_size_bytes
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceReplay":
+        return cls(**payload)
+
+    @property
+    def label(self) -> str:
+        stem = os.path.splitext(os.path.basename(self.path))[0]
+        return f"trace:{stem}"

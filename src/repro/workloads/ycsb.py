@@ -9,12 +9,17 @@ fraction and a very high cold ratio.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.workloads.synthetic import SyntheticWorkload, WorkloadShape
 
 
-def ycsb_shape(read_ratio: float, cold_ratio: float,
-               scan_heavy: bool = False,
-               mean_interarrival_us: float = 200.0) -> WorkloadShape:
+def ycsb_shape(
+    read_ratio: float,
+    cold_ratio: float,
+    scan_heavy: bool = False,
+    mean_interarrival_us: float = 200.0,
+) -> WorkloadShape:
     """Key-value-store flavour of the synthetic generator."""
     return WorkloadShape(
         read_ratio=read_ratio,
@@ -27,11 +32,28 @@ def ycsb_shape(read_ratio: float, cold_ratio: float,
     )
 
 
-def make_ycsb_workload(read_ratio: float, cold_ratio: float,
-                       footprint_pages: int, seed: int = 0,
-                       scan_heavy: bool = False,
-                       mean_interarrival_us: float = 200.0) -> SyntheticWorkload:
-    """A ready-to-generate YCSB-style workload."""
+def make_ycsb_workload(
+    read_ratio: float,
+    cold_ratio: float,
+    footprint_pages: int,
+    seed: int = 0,
+    scan_heavy: bool = False,
+    mean_interarrival_us: float = 200.0,
+) -> SyntheticWorkload:
+    """A ready-to-generate YCSB-style workload.
+
+    .. deprecated:: construct ``SyntheticWorkload(ycsb_shape(...), ...)``
+        directly, or go through the unified source API
+        (``repro.sim.WorkloadSpec`` / ``repro.workloads.source``).
+    """
+    warnings.warn(
+        "make_ycsb_workload is deprecated; use "
+        "SyntheticWorkload(ycsb_shape(...), ...) or repro.sim.WorkloadSpec instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return SyntheticWorkload(
         ycsb_shape(read_ratio, cold_ratio, scan_heavy, mean_interarrival_us),
-        footprint_pages=footprint_pages, seed=seed)
+        footprint_pages=footprint_pages,
+        seed=seed,
+    )

@@ -78,3 +78,28 @@ class TestBlockModeGolden:
             assert row["mapping_cache_hit_rate"] == 1.0
             assert row["translation_reads"] == 0
             assert row["translation_writes"] == 0
+
+    def test_zero_fault_plan_keeps_golden_cells_bitwise(self, golden):
+        # Arming an *empty* FaultPlan must leave the simulator on the
+        # exact fault-free code path: re-running a golden grid cell with
+        # one installed produces bitwise-identical metrics.
+        from repro.sim.session import Simulation
+        from repro.sim.spec import WorkloadSpec
+        from repro.ssd.faults import FaultPlan
+
+        config = SsdConfig.scaled(**golden["config"])
+        spec = WorkloadSpec(name=golden["workloads"][0],
+                            num_requests=golden["num_requests"],
+                            seed=golden["seed"])
+        condition = tuple(golden["conditions"][-1])
+
+        def cell(simulation):
+            return (simulation.policy(golden["policies"][-1]).workload(spec)
+                    .condition(condition).run())
+
+        plain = cell(Simulation(config))
+        armed = cell(Simulation(config).faults(FaultPlan()))
+        assert (armed.result.metrics.summary()
+                == plain.result.metrics.summary())
+        assert (armed.result.metrics.latency("all").to_dict()
+                == plain.result.metrics.latency("all").to_dict())

@@ -368,7 +368,7 @@ class TestSessionFleet:
         mix = TenantMix(tenants=(_spec(20, seed=1), _spec(20, seed=2)))
         simulation = (Simulation(CONFIG).policy("Baseline")
                       .tenants(mix, names=("kv", "log")))
-        assert simulation._tenant_mix.tenant_names() == ("kv", "log")
+        assert simulation._source.tenant_names() == ("kv", "log")
 
     def test_lookahead_reaches_fleet_devices(self):
         # .lookahead() must be honored on the fleet path like it is on the

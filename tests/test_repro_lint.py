@@ -346,6 +346,87 @@ class TestExperimentRegistrationSync:
             assert engine.lint_file(module) == [], module.name
 
 
+# -- rule: experiment-seed-param -----------------------------------------------
+class TestExperimentSeedParam:
+    MODULE = "src/repro/experiments/example.py"
+
+    def _lint(self, engine, source):
+        findings = lint(engine, source, relpath=self.MODULE)
+        return [f for f in findings if f.rule == "experiment-seed-param"]
+
+    def test_params_without_seed_flagged(self, engine):
+        source = (
+            "from repro.experiments.api import param, register_experiment\n"
+            "\n"
+            '@register_experiment("fig14", params=(\n'
+            '    param("num_requests", 100, "host requests"),\n'
+            "))\n"
+            "def run(num_requests=100):\n"
+            "    pass\n"
+        )
+        findings = self._lint(engine, source)
+        assert [f.rule for f in findings] == ["experiment-seed-param"]
+        assert "'seed'" in findings[0].message and "fig14" in findings[0].message
+
+    def test_params_with_seed_passes(self, engine):
+        source = (
+            "from repro.experiments.api import param, register_experiment\n"
+            "\n"
+            '@register_experiment("fig14", params=(\n'
+            '    param("num_requests", 100, "host requests"),\n'
+            '    param("seed", 0, "stream seed"),\n'
+            "))\n"
+            "def run(num_requests=100, seed=0):\n"
+            "    pass\n"
+        )
+        assert self._lint(engine, source) == []
+
+    def test_no_params_keyword_is_exempt(self, engine):
+        source = (
+            "from repro.experiments.api import register_experiment\n"
+            "\n"
+            '@register_experiment("fig14")\n'
+            "def run():\n"
+            "    pass\n"
+        )
+        assert self._lint(engine, source) == []
+
+    def test_empty_params_is_exempt(self, engine):
+        source = (
+            "from repro.experiments.api import register_experiment\n"
+            "\n"
+            '@register_experiment("fig14", params=())\n'
+            "def run():\n"
+            "    pass\n"
+        )
+        assert self._lint(engine, source) == []
+
+    def test_computed_params_are_skipped(self, engine):
+        # The registry's own plumbing builds params dynamically; a
+        # non-literal expression is not a registration to reason about.
+        source = (
+            "from repro.experiments.api import register_experiment\n"
+            "\n"
+            "COMMON = ()\n"
+            "\n"
+            '@register_experiment("fig14", params=COMMON)\n'
+            "def run():\n"
+            "    pass\n"
+        )
+        assert self._lint(engine, source) == []
+
+    def test_outside_experiments_package_is_skipped(self, engine):
+        source = (
+            "from repro.experiments.api import param, register_experiment\n"
+            "\n"
+            '@register_experiment("x", params=(param("n", 1, "n"),))\n'
+            "def run(n=1):\n"
+            "    pass\n"
+        )
+        findings = lint(engine, source, relpath="src/repro/ssd/example.py")
+        assert [f for f in findings if f.rule == "experiment-seed-param"] == []
+
+
 # -- pragmas -------------------------------------------------------------------
 class TestPragmas:
     def test_line_pragma_suppresses_one_rule(self, engine):
@@ -614,4 +695,4 @@ class TestSelfLint:
         )
 
     def test_default_rule_set_is_complete(self):
-        assert len(default_rules()) == len(RULE_NAMES) == 6
+        assert len(default_rules()) == len(RULE_NAMES) == 7
