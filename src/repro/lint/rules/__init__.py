@@ -1,6 +1,7 @@
 """The built-in ``repro-lint`` rule set."""
 
 from repro.lint.rules.counter_registration import CounterRegistrationRule
+from repro.lint.rules.dict_order_pool import NoDictOrderAcrossPoolRule
 from repro.lint.rules.global_random import NoGlobalRandomRule
 from repro.lint.rules.pickle_safe_pool import PickleSafePoolRule
 from repro.lint.rules.registration_sync import ExperimentRegistrationSyncRule
@@ -15,6 +16,7 @@ RULE_CLASSES = (
     NoUnorderedIterationRule,
     CounterRegistrationRule,
     PickleSafePoolRule,
+    NoDictOrderAcrossPoolRule,
     ExperimentRegistrationSyncRule,
     ExperimentSeedParamRule,
 )

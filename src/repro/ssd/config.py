@@ -13,6 +13,7 @@ the absolute capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 
 from repro.nand.timing import TimingParameters
 
@@ -93,19 +94,23 @@ class SsdConfig:
                 "gc_stop_free_blocks must be at least gc_free_block_threshold")
 
     # -- derived sizes ------------------------------------------------------------
-    @property
+    # cached_property works on a frozen dataclass (it writes to __dict__,
+    # bypassing the frozen __setattr__), and every field below derives from
+    # immutable fields — the FTL's bounds checks and the simulator's LPN
+    # wrapping hit these on every page, so they must not recompute.
+    @cached_property
     def num_dies(self) -> int:
         return self.channels * self.dies_per_channel
 
-    @property
+    @cached_property
     def num_planes(self) -> int:
         return self.num_dies * self.planes_per_die
 
-    @property
+    @cached_property
     def physical_pages(self) -> int:
         return self.num_planes * self.blocks_per_plane * self.pages_per_block
 
-    @property
+    @cached_property
     def logical_pages(self) -> int:
         """Host-visible pages after over-provisioning."""
         return int(self.physical_pages * (1.0 - self.overprovisioning))

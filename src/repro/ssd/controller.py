@@ -125,9 +125,17 @@ class SsdSimulator:
                  rpt: ReadTimingParameterTable = None,
                  record_samples: bool = False,
                  device_id: int = 0,
-                 track_tenants: bool = False):
+                 track_tenants: bool = False,
+                 batch_read_dispatch: bool = True):
         self.config = config or SsdConfig.scaled()
         self.device_id = device_id
+        #: Batched same-die read dispatch: multi-page reads resolve their
+        #: retry behaviours through one vectorized lattice walk per cold
+        #: condition instead of per-page scalar walks.  Bitwise-neutral (the
+        #: prepared value substitutes only for the identical scalar walk and
+        #: is re-validated at service time), so the switch exists purely for
+        #: equivalence testing, not as a behaviour knob.
+        self.batch_read_dispatch = batch_read_dispatch
         #: When True, every completion is also recorded into a per-tenant
         #: histogram keyed by the request's ``queue_id``.  Off by default so
         #: plain runs pay nothing and keep ``metrics.tenant_latency`` empty;
@@ -137,6 +145,9 @@ class SsdSimulator:
             self.policy = get_policy(policy, timing=self.config.timing, rpt=rpt)
         else:
             self.policy = policy
+        # Property-call hoisting for the per-page read path (the policy is
+        # fixed for the simulator's lifetime).
+        self._uses_reduced_timing = self.policy.uses_reduced_timing
         shared_rpt = rpt
         if shared_rpt is None and self.policy.uses_reduced_timing:
             shared_rpt = self.policy.rpt
@@ -183,11 +194,15 @@ class SsdSimulator:
         self._lookahead = DEFAULT_LOOKAHEAD_REQUESTS
         # Completion bookkeeping for in-flight reads, keyed by request_id —
         # the simulator never writes to caller-owned HostRequest objects.
+        # Finished trackers go back to a free list, so a streaming run
+        # allocates O(max in-flight reads) trackers, not O(trace).
         self._read_progress: Dict[int, _ReadProgress] = {}
+        self._progress_pool: list = []
         # Reads only ever see a handful of distinct (P/E, retention)
         # conditions; interning the OperatingCondition objects keeps the
         # per-read path free of dataclass construction and validation.
         self._condition_cache: Dict[tuple, OperatingCondition] = {}
+        self._breakdown_cache: Dict[tuple, object] = {}
         #: Optional hook invoked as ``hook(request, now_us)`` whenever a host
         #: request completes (reads: last page ready; writes: buffer
         #: admission).  Closed-loop load generators use it to issue each
@@ -226,9 +241,9 @@ class SsdSimulator:
                                         retention_months=retention_months,
                                         pe_cycles=pe_cycles)
         else:
-            for lpn in range(pages_to_fill):
-                self.ftl.write(lpn, retention_months=retention_months)
-            self.ftl.set_uniform_pe_cycles(pe_cycles)
+            self.ftl.precondition_fill(pages_to_fill,
+                                       retention_months=retention_months,
+                                       pe_cycles=pe_cycles)
         self._cold_retention_months = retention_months
         self._preconditioned_pe_cycles = pe_cycles
         # Most reads of the run see the cold preconditioned data; vectorize
@@ -353,9 +368,8 @@ class SsdSimulator:
                 f"{request.arrival_us} us, before the current simulation "
                 f"clock ({self.events.now_us} us)")
         self._outstanding_requests += 1
-        self.events.schedule(
-            request.arrival_us,
-            lambda req=request: self._on_request_arrival(req))
+        self.events.schedule_call(request.arrival_us,
+                                  self._on_request_arrival, request)
 
     def _inject_followups(self, source, request: HostRequest,
                           now_us: float) -> None:
@@ -384,39 +398,63 @@ class SsdSimulator:
             device_id=self.device_id)
 
     def _pump(self) -> None:
-        """Admit arrivals from the source until the lookahead window is full."""
-        if self._barrier_active:
+        """Admit arrivals from the source until the lookahead window is full.
+
+        The window deficit is pulled and validated in stream order, then
+        handed to the event core as one bulk push: arrivals get their
+        sequence numbers in admission order (ties break exactly as with
+        per-request pushes), and a full-window refill pays one heapify
+        instead of 64 sift-ups.  Nothing executes between the pulls — the
+        pump runs to completion before the event loop resumes — so deferring
+        the heap insertion to the end of the pull loop is unobservable.
+        """
+        if self._barrier_active or self._source_exhausted:
             return
-        while (not self._source_exhausted
-               and self._scheduled_arrivals < self._lookahead):
-            try:
-                # Explicit StopIteration handling: a stray None element in a
-                # buggy stream must error out below, not end the run early.
-                request = next(self._source)
-            except StopIteration:
-                self._source_exhausted = True
-                return
-            arrival_us = request.arrival_us
-            if arrival_us < self.events.now_us:
-                if arrival_us >= self._barrier_stall_begin_us:
-                    # The request is late only because a barrier drained the
-                    # device past its stamped arrival; admit it now — the
-                    # stall becomes part of its measured response time.
-                    arrival_us = self.events.now_us
-                else:
-                    raise ValueError(
-                        f"request {request.request_id} arrives at "
-                        f"{request.arrival_us} us, before the admission "
-                        f"pump's clock ({self.events.now_us} us); streamed "
-                        "requests must be ordered by arrival time up to the "
-                        "lookahead window (currently "
-                        f"{self._lookahead} requests) — sort the stream or "
-                        "raise run(..., lookahead=N)")
-            self._outstanding_requests += 1
-            self._scheduled_arrivals += 1
-            self.events.schedule(
-                arrival_us,
-                lambda req=request: self._on_request_arrival(req))
+        deficit = self._lookahead - self._scheduled_arrivals
+        if deficit <= 0:
+            return
+        now_us = self.events.now_us
+        admitted = []
+        try:
+            while deficit > 0:
+                try:
+                    # Explicit StopIteration handling: a stray None element
+                    # in a buggy stream must error out below, not end the
+                    # run early.
+                    request = next(self._source)
+                except StopIteration:
+                    self._source_exhausted = True
+                    break
+                arrival_us = request.arrival_us
+                if arrival_us < now_us:
+                    if arrival_us >= self._barrier_stall_begin_us:
+                        # The request is late only because a barrier drained
+                        # the device past its stamped arrival; admit it now —
+                        # the stall becomes part of its measured response
+                        # time.
+                        arrival_us = now_us
+                    else:
+                        raise ValueError(
+                            f"request {request.request_id} arrives at "
+                            f"{request.arrival_us} us, before the admission "
+                            f"pump's clock ({self.events.now_us} us); "
+                            "streamed requests must be ordered by arrival "
+                            "time up to the lookahead window (currently "
+                            f"{self._lookahead} requests) — sort the stream "
+                            "or raise run(..., lookahead=N)")
+                self._outstanding_requests += 1
+                self._scheduled_arrivals += 1
+                admitted.append((arrival_us, request))
+                deficit -= 1
+        finally:
+            # Flush even when a mid-window pull raises: every admission
+            # counted above must own an event.
+            if len(admitted) == 1:
+                self.events.schedule_call(admitted[0][0],
+                                          self._on_request_arrival,
+                                          admitted[0][1])
+            elif admitted:
+                self.events.schedule_batch(self._on_request_arrival, admitted)
 
     # -- host-request handling ------------------------------------------------------------
     def _on_request_arrival(self, request: HostRequest) -> None:
@@ -472,16 +510,77 @@ class SsdSimulator:
             self._pump()
 
     def _start_read_request(self, request: HostRequest) -> None:
-        self._read_progress[request.request_id] = _ReadProgress(
-            request.page_count)
-        for lpn in request.lpns:
-            physical = self._physical_for_read(lpn)
+        if self._progress_pool:
+            progress = self._progress_pool.pop()
+            progress.pending_pages = request.page_count
+            progress.last_page_ready_us = None
+        else:
+            progress = _ReadProgress(request.page_count)
+        self._read_progress[request.request_id] = progress
+        if (request.page_count > 1 and self.batch_read_dispatch
+                and self.dftl is None and self._fault_injector is None):
+            self._start_read_request_batched(request)
+            return
+        now_us = self.events.now_us
+        schedulers = self.schedulers
+        physical_for_read = self._physical_for_read
+        read_kind = TransactionKind.READ
+        for lpn in range(request.start_lpn,
+                         request.start_lpn + request.page_count):
+            physical = physical_for_read(lpn)
             transaction = FlashTransaction(
-                kind=TransactionKind.READ, lpn=lpn,
-                channel=physical.channel, die=physical.die,
-                plane=physical.plane, block=physical.block, page=physical.page,
-                issue_us=self.events.now_us, request=request)
-            self.schedulers[physical.die_key()].enqueue(transaction)
+                read_kind, lpn, physical.channel, physical.die,
+                physical.plane, physical.block, physical.page, now_us,
+                request, None, physical)
+            schedulers[(physical.channel, physical.die)].enqueue(transaction)
+
+    def _start_read_request_batched(self, request: HostRequest) -> None:
+        """Multi-page read dispatch through one batch retry-table walk.
+
+        The pages of a multi-page request that resolve cold walk the retry
+        table together: their conditions are collected here, at dispatch,
+        and handed to the vectorized grid in one
+        :meth:`~repro.ssd.flash_backend.FlashBackend.peek_read_batch` call
+        instead of N scalar walks at service time.  Bitwise equivalence
+        with scalar dispatch rests on three properties: targets resolve in
+        LPN order before any enqueue (cold-map FTL writes happen in the
+        same order as the scalar loop, and enqueues never touch the FTL);
+        the peek is pure, so the grid's state trajectory is untouched; and
+        each prepared behaviour is keyed by the (P/E, retention) it was
+        computed under and re-validated against the block's metadata at
+        service time, so a GC erase between dispatch and service simply
+        voids the preparation (``_read_service_time`` falls back to the
+        normal path).  Excluded: DFTL (lookups inject translation traffic
+        between resolves) and armed fault injectors (penalties are
+        service-time state).
+        """
+        now_us = self.events.now_us
+        ftl = self.ftl
+        targets = []
+        items = []
+        for lpn in range(request.start_lpn,
+                         request.start_lpn + request.page_count):
+            physical = self._physical_for_read(lpn)
+            metadata = ftl.block_metadata(physical)
+            pe_cycles = metadata.pe_cycles
+            retention = metadata.page_retention_months[physical.page]
+            targets.append((lpn, physical, pe_cycles, retention))
+            items.append((physical, ftl.page_type_of(physical), pe_cycles,
+                          retention))
+        prepared, walks = self.backend.peek_read_batch(items)
+        self.metrics.batch_dispatch_calls += walks
+        schedulers = self.schedulers
+        read_kind = TransactionKind.READ
+        for (lpn, physical, pe_cycles, retention), behaviour in zip(
+                targets, prepared):
+            transaction = FlashTransaction(
+                read_kind, lpn, physical.channel, physical.die,
+                physical.plane, physical.block, physical.page, now_us,
+                request, None, physical)
+            if behaviour is not None:
+                transaction.prepared_behaviour = (pe_cycles, retention,
+                                                  behaviour)
+            schedulers[(physical.channel, physical.die)].enqueue(transaction)
 
     def _physical_for_read(self, lpn: int) -> PhysicalPage:
         """Resolve a read target, lazily mapping never-written cold data."""
@@ -517,8 +616,10 @@ class SsdSimulator:
             now - request.arrival_us,
             tenant=request.queue_id if self.track_tenants else None)
         self._outstanding_requests -= 1
-        for lpn in request.lpns:
-            self._issue_program(lpn % self.config.logical_pages, request)
+        logical_pages = self.config.logical_pages
+        for lpn in range(request.start_lpn,
+                         request.start_lpn + request.page_count):
+            self._issue_program(lpn % logical_pages, request)
         self._run_gc_if_needed()
         if self.on_request_complete is not None:
             self.on_request_complete(request, now)
@@ -536,7 +637,7 @@ class SsdSimulator:
             kind=TransactionKind.PROGRAM, lpn=lpn,
             channel=physical.channel, die=physical.die, plane=physical.plane,
             block=physical.block, page=physical.page,
-            issue_us=self.events.now_us, request=request)
+            issue_us=self.events.now_us, request=request, physical=physical)
         self.schedulers[physical.die_key()].enqueue(transaction)
 
     def _issue_translation_ops(self, ops: Sequence[TranslationOp]) -> None:
@@ -552,11 +653,17 @@ class SsdSimulator:
             transaction = FlashTransaction(
                 kind=kind, lpn=None, channel=physical.channel,
                 die=physical.die, plane=physical.plane, block=physical.block,
-                page=physical.page, issue_us=self.events.now_us, request=None)
+                page=physical.page, issue_us=self.events.now_us, request=None,
+                physical=physical)
             self.schedulers[physical.die_key()].enqueue(transaction)
 
     # -- flash service times -----------------------------------------------------------------
     def _service_time(self, transaction: FlashTransaction) -> float:
+        kind = transaction.kind
+        # Host and GC reads dominate every workload this simulator runs;
+        # dispatch them before the rarer program/erase kinds.
+        if kind is TransactionKind.READ or kind is TransactionKind.GC_READ:
+            return self._read_service_time(transaction)
         timing = self.config.timing
         if transaction.kind in (TransactionKind.PROGRAM,
                                 TransactionKind.GC_PROGRAM,
@@ -568,18 +675,24 @@ class SsdSimulator:
             # Translation pages are hot, constantly rewritten metadata: they
             # read at default timing with no retry walk — one sensing pass
             # for the page type plus transfer and decode.
-            page_type = self.dftl.page_type_of(
-                PhysicalPage(transaction.channel, transaction.die,
-                             transaction.plane, transaction.block,
-                             transaction.page))
+            physical = transaction.physical
+            if physical is None:
+                physical = PhysicalPage(transaction.channel, transaction.die,
+                                        transaction.plane, transaction.block,
+                                        transaction.page)
+            page_type = self.dftl.page_type_of(physical)
             return (timing.read.sensing_latency_us(page_type)
                     + timing.t_dma_page_us + timing.t_ecc_us)
         return self._read_service_time(transaction)
 
     def _read_service_time(self, transaction: FlashTransaction) -> float:
-        physical = PhysicalPage(transaction.channel, transaction.die,
-                                transaction.plane, transaction.block,
-                                transaction.page)
+        physical = transaction.physical
+        if physical is None:
+            # Synthetically constructed transactions (tests) may carry only
+            # the scalar address fields.
+            physical = PhysicalPage(transaction.channel, transaction.die,
+                                    transaction.plane, transaction.block,
+                                    transaction.page)
         if self.dftl is not None:
             pe_cycles = self.dftl.pe_cycles_of(physical)
             page_type = self.dftl.page_type_of(physical)
@@ -590,8 +703,18 @@ class SsdSimulator:
             pe_cycles = metadata.pe_cycles
             page_type = self.ftl.page_type_of(physical)
             retention = metadata.page_retention_months[transaction.page]
-        behaviour = self.backend.read_behaviour(
-            physical, page_type, pe_cycles, retention)
+        prepared = transaction.prepared_behaviour
+        if prepared is not None and prepared[0] == pe_cycles \
+                and prepared[1] == retention:
+            # Dispatch-time batch preparation, still valid for the block's
+            # current condition (GC did not erase it in between).
+            behaviour = self.backend.read_behaviour(
+                physical, page_type, pe_cycles, retention,
+                prepared=prepared[2])
+            self.metrics.batched_completions += 1
+        else:
+            behaviour = self.backend.read_behaviour(
+                physical, page_type, pe_cycles, retention)
         fault_extra = 0
         fault_factor = 1.0
         if self._fault_injector is not None:
@@ -601,23 +724,32 @@ class SsdSimulator:
                 physical, self.events.now_us)
             if fault_extra:
                 behaviour = behaviour.degraded(fault_extra)
-        condition_key = (pe_cycles, retention)
-        condition = self._condition_cache.get(condition_key)
-        if condition is None:
-            condition = OperatingCondition(
-                pe_cycles=pe_cycles, retention_months=retention,
-                temperature_c=self.config.temperature_c)
-            self._condition_cache[condition_key] = condition
-
-        if self.policy.uses_reduced_timing:
+        if self._uses_reduced_timing:
             steps = behaviour.retry_steps_reduced
         else:
             steps = behaviour.retry_steps
-        breakdown = self.policy.breakdown_for(steps, page_type, condition)
+        # Controller-local breakdown memo: temperature and policy are fixed
+        # per simulator, so (steps, page type, condition) keys the policy's
+        # own memoized breakdown exactly.  A first read under any new
+        # (P/E, retention) always misses here, so the condition-diversity
+        # counter (``len(self._condition_cache)``) still sees every
+        # distinct condition.
+        breakdown_key = (steps, page_type, pe_cycles, retention)
+        breakdown = self._breakdown_cache.get(breakdown_key)
+        if breakdown is None:
+            condition_key = (pe_cycles, retention)
+            condition = self._condition_cache.get(condition_key)
+            if condition is None:
+                condition = OperatingCondition(
+                    pe_cycles=pe_cycles, retention_months=retention,
+                    temperature_c=self.config.temperature_c)
+                self._condition_cache[condition_key] = condition
+            breakdown = self.policy.breakdown_for(steps, page_type, condition)
+            self._breakdown_cache[breakdown_key] = breakdown
         response_us = breakdown.response_us
         die_busy_us = breakdown.die_busy_us
 
-        if behaviour.reduced_timing_fallback and self.policy.uses_reduced_timing:
+        if behaviour.reduced_timing_fallback and self._uses_reduced_timing:
             # The reduced-timing retry operation exhausted the table; AR2
             # falls back to a full default-timing read-retry operation
             # (Section 6.2).  Charge the failed attempt plus the fallback.
@@ -650,8 +782,12 @@ class SsdSimulator:
 
     def _complete_host_read_page(self, transaction: FlashTransaction) -> None:
         request = transaction.request
-        response_us = getattr(transaction, "response_us",
-                              transaction.completion_us - transaction.service_start_us)
+        response_us = transaction.response_us
+        if response_us is None:
+            # Only synthetically constructed transactions get here; the
+            # read service path always stamps response_us.
+            response_us = (transaction.completion_us
+                           - transaction.service_start_us)
         page_ready_us = transaction.service_start_us + response_us
         self.metrics.record_retry_steps(transaction.retry_steps)
         if request is None:
@@ -663,6 +799,7 @@ class SsdSimulator:
         progress.pending_pages -= 1
         if progress.pending_pages == 0:
             del self._read_progress[request.request_id]
+            self._progress_pool.append(progress)
             self.metrics.record_read(
                 progress.last_page_ready_us - request.arrival_us,
                 tenant=request.queue_id if self.track_tenants else None)
@@ -726,7 +863,7 @@ class SsdSimulator:
         transaction = FlashTransaction(
             kind=kind, lpn=None, channel=physical.channel, die=physical.die,
             plane=physical.plane, block=physical.block, page=physical.page,
-            issue_us=self.events.now_us, request=None)
+            issue_us=self.events.now_us, request=None, physical=physical)
         self.schedulers[physical.die_key()].enqueue(transaction)
 
 

@@ -127,17 +127,46 @@ class FlashBackend:
 
     # -- main query --------------------------------------------------------------------
     def read_behaviour(self, physical: PhysicalPage, page_type: PageType,
-                       pe_cycles: int, retention_months: float) -> ReadBehaviour:
-        """Retry-step counts for a read of ``physical`` under its condition."""
+                       pe_cycles: int, retention_months: float,
+                       prepared: ReadBehaviour = None) -> ReadBehaviour:
+        """Retry-step counts for a read of ``physical`` under its condition.
+
+        ``prepared`` optionally carries a dispatch-time batch-computed
+        behaviour (see :meth:`peek_read_batch`); it substitutes only for the
+        scalar walk the grid would otherwise run on a memo miss, so the
+        result and the hit/fallback accounting are unchanged.
+        """
         chip = physical.channel * self.config.dies_per_channel + physical.die
         block = physical.plane * self.config.blocks_per_plane + physical.block
         behaviour, from_grid = self.grid.behaviour(
-            page_type, pe_cycles, retention_months, chip, block)
+            page_type, pe_cycles, retention_months, chip, block,
+            prepared=prepared)
         if from_grid:
             self.grid_hits += 1
         else:
             self.scalar_fallbacks += 1
         return behaviour
+
+    def peek_read_batch(self, items):
+        """Batch-prepare the behaviours of several upcoming reads, purely.
+
+        :param items: ``(physical, page_type, pe_cycles, retention_months)``
+            per read, in dispatch order.
+        :return: ``(prepared, batch_walks)`` — per-item behaviours (``None``
+            where the grid will serve the read without a scalar walk) and
+            the number of vectorized lattice walks issued.
+
+        Counters are untouched: the query accounting happens when the reads
+        are actually serviced through :meth:`read_behaviour`.
+        """
+        dies_per_channel = self.config.dies_per_channel
+        blocks_per_plane = self.config.blocks_per_plane
+        return self.grid.peek_batch([
+            (page_type, pe_cycles, retention_months,
+             physical.channel * dies_per_channel + physical.die,
+             physical.plane * blocks_per_plane + physical.block)
+            for physical, page_type, pe_cycles, retention_months in items
+        ])
 
     def prefill_conditions(self, conditions) -> None:
         """Vectorize the slabs of conditions known to be coming.

@@ -17,22 +17,49 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.nand.geometry import PAGE_TYPE_ORDER, PageType
 from repro.ssd.config import SsdConfig
 
 
-@dataclass(frozen=True)
 class PhysicalPage:
-    """Physical location of one page."""
+    """Physical location of one page.
 
-    channel: int
-    die: int
-    plane: int
-    block: int
-    page: int
+    A hand-written ``__slots__`` value class rather than a frozen dataclass:
+    one is built per mapping lookup and per page allocation, so construction
+    cost is hot-path cost (a frozen dataclass pays five ``object.__setattr__``
+    calls per instance).  Treated as immutable by convention everywhere.
+    """
+
+    __slots__ = ("channel", "die", "plane", "block", "page")
+
+    def __init__(self, channel: int, die: int, plane: int, block: int,
+                 page: int):
+        self.channel = channel
+        self.die = die
+        self.plane = plane
+        self.block = block
+        self.page = page
 
     def die_key(self) -> Tuple[int, int]:
         return (self.channel, self.die)
+
+    def __eq__(self, other):
+        if not isinstance(other, PhysicalPage):
+            return NotImplemented
+        return (self.channel == other.channel and self.die == other.die
+                and self.plane == other.plane and self.block == other.block
+                and self.page == other.page)
+
+    def __hash__(self):
+        return hash((self.channel, self.die, self.plane, self.block,
+                     self.page))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"PhysicalPage(channel={self.channel!r}, die={self.die!r}, "
+                f"plane={self.plane!r}, block={self.block!r}, "
+                f"page={self.page!r})")
 
 
 @dataclass
@@ -234,6 +261,75 @@ class FlashTranslationLayer:
             raise ValueError("pe_cycles must be non-negative")
         for plane in self.planes:
             plane.set_pe_cycles(pe_cycles)
+
+    def precondition_fill(self, pages: int, retention_months: float = 0.0,
+                          pe_cycles: int = 0) -> None:
+        """Bulk preconditioning: fill LPNs 0..pages-1 and set a uniform wear.
+
+        Produces the *exact* state that ``write(lpn, retention_months)`` for
+        every LPN in order followed by :meth:`set_uniform_pe_cycles` would:
+        round-robin plane striping (LPN ``n`` lands on plane ``n % planes``
+        as its ``n // planes``-th write), blocks opened in ascending id
+        order (the wear-leveling sort is stable and every block starts at
+        the same P/E count), pages filled sequentially.  The closed form
+        replaces ``pages`` allocator calls with per-block slice assignments,
+        which is what keeps simulator preconditioning off the hot-path
+        profile.  A non-fresh FTL falls back to the per-page loop, whose
+        allocator decisions depend on the existing state.
+        """
+        if pages < 0 or pages > self.config.logical_pages:
+            raise ValueError(f"cannot precondition {pages} pages into a "
+                             f"logical space of {self.config.logical_pages}")
+        if pe_cycles < 0:
+            raise ValueError("pe_cycles must be non-negative")
+        fresh = (not self._mapping and self._next_plane == 0
+                 and all(plane._active_block is None
+                         and not plane._filled_blocks
+                         for plane in self.planes))
+        if not fresh:
+            for lpn in range(pages):
+                self.write(lpn, retention_months=retention_months)
+            self.set_uniform_pe_cycles(pe_cycles)
+            return
+        plane_count = len(self.planes)
+        pages_per_block = self.config.pages_per_block
+        for plane_index, plane in enumerate(self.planes):
+            writes = (pages - plane_index + plane_count - 1) // plane_count
+            if writes <= 0:
+                continue
+            full_blocks, partial = divmod(writes, pages_per_block)
+            last_block = full_blocks if partial else full_blocks - 1
+            for block_id in range(last_block + 1):
+                block = plane.blocks[block_id]
+                fill = partial if (block_id == last_block
+                                   and partial) else pages_per_block
+                base = block_id * pages_per_block
+                block.page_lpns[:fill] = [
+                    (base + page) * plane_count + plane_index
+                    for page in range(fill)
+                ]
+                block.page_retention_months[:fill] = [retention_months] * fill
+                block.next_free_page = fill
+                block.valid_count = fill
+            plane._filled_blocks = list(range(last_block))
+            plane._active_block = last_block
+            plane._free_blocks = list(
+                range(last_block + 1, self.config.blocks_per_plane))
+        if pages:
+            # Build the mapping in one vectorized pass (ascending LPN order,
+            # matching the loop's insertion order).  ``tolist()`` matters:
+            # the mapping must hold Python ints, not numpy scalars, so that
+            # every PhysicalPage built from it stays identical to one the
+            # allocator would have produced.
+            lpns = np.arange(pages, dtype=np.int64)
+            slots, plane_indices = np.divmod(lpns, plane_count)
+            block_ids, page_indices = np.divmod(slots, pages_per_block)
+            self._mapping.update(zip(
+                range(pages),
+                zip(plane_indices.tolist(), block_ids.tolist(),
+                    page_indices.tolist())))
+        self._next_plane = pages % plane_count
+        self.set_uniform_pe_cycles(pe_cycles)
 
     # -- statistics ----------------------------------------------------------------------
     @property

@@ -100,7 +100,14 @@ class LatencyHistogram:
         # running sum or the min/max trackers on its way to the error.
         if not (value >= 0.0) or value == math.inf:
             raise ValueError("latency must be a non-negative finite number")
-        self._add_to_sum(value)
+        # _add_to_sum, inlined: record() is the per-request hot call.
+        previous = self._sum
+        total = previous + value
+        if abs(previous) >= abs(value):
+            self._compensation += (previous - total) + value
+        else:
+            self._compensation += (value - total) + previous
+        self._sum = total
         self.count += 1
         if value < self.min_us:
             self.min_us = value
@@ -260,6 +267,8 @@ class SimulationMetrics:
         "reduced_timing_fallbacks",
         "grid_hits",
         "scalar_fallbacks",
+        "batched_completions",
+        "batch_dispatch_calls",
         "control_barriers",
         "control_marks",
         "control_discards",
@@ -301,6 +310,11 @@ class SimulationMetrics:
         self.grid_hits = 0
         #: Reads that needed an exact scalar walk (cold condition).
         self.scalar_fallbacks = 0
+        #: Page reads whose retry behaviour was consumed from a dispatch-time
+        #: batch preparation, and the vectorized lattice walks those
+        #: preparations issued (batched same-die completion).
+        self.batched_completions = 0
+        self.batch_dispatch_calls = 0
         #: In-stream control events (``RequestKind.BARRIER``/``MARK``/
         #: ``DISCARD``) seen by the controller, and logical pages actually
         #: unmapped by discards; all stay zero on control-free streams.
@@ -524,6 +538,8 @@ class SimulationMetrics:
             "reduced_timing_fallbacks": self.reduced_timing_fallbacks,
             "grid_hits": self.grid_hits,
             "scalar_fallbacks": self.scalar_fallbacks,
+            "batched_completions": self.batched_completions,
+            "batch_dispatch_calls": self.batch_dispatch_calls,
             "control_barriers": self.control_barriers,
             "control_marks": self.control_marks,
             "control_discards": self.control_discards,

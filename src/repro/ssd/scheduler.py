@@ -18,23 +18,39 @@ controller, which updates request state, the write buffer and GC.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Callable, Deque, Optional
 
 from repro.ssd.config import SsdConfig
 from repro.ssd.engine import EventHandle, EventQueue
-from repro.ssd.request import FlashTransaction, TransactionKind
+from repro.ssd.request import (
+    _READ_TRANSACTION_KINDS,
+    FlashTransaction,
+    TransactionKind,
+)
+
+#: Kinds whose in-flight operation a read may suspend.  Only these need a
+#: cancellable completion event; read completions are scheduled through the
+#: engine's handle-free hot path.
+_SUSPENDABLE_KINDS = frozenset((TransactionKind.PROGRAM,
+                                TransactionKind.GC_PROGRAM,
+                                TransactionKind.TRANS_PROGRAM,
+                                TransactionKind.ERASE))
 
 
-@dataclass
 class _ActiveOperation:
     """The transaction a die is currently executing."""
 
-    transaction: FlashTransaction
-    start_us: float
-    service_us: float
-    handle: EventHandle
-    suspended_before: bool = False
+    __slots__ = ("transaction", "start_us", "service_us", "handle",
+                 "suspended_before")
+
+    def __init__(self, transaction: FlashTransaction, start_us: float,
+                 service_us: float, handle: Optional[EventHandle],
+                 suspended_before: bool = False):
+        self.transaction = transaction
+        self.start_us = start_us
+        self.service_us = service_us
+        self.handle = handle
+        self.suspended_before = suspended_before
 
 
 class DieScheduler:
@@ -48,6 +64,9 @@ class DieScheduler:
         self.events = events
         self.service_time_fn = service_time_fn
         self.on_complete = on_complete
+        # Hot-path copies of the config flags (attribute-chain hoisting).
+        self._read_priority = config.read_priority
+        self._suspension = config.suspension
         self.read_queue: Deque[FlashTransaction] = deque()
         self.write_queue: Deque[FlashTransaction] = deque()
         self.current: Optional[_ActiveOperation] = None
@@ -58,14 +77,15 @@ class DieScheduler:
     # -- queueing -----------------------------------------------------------------
     def enqueue(self, transaction: FlashTransaction) -> None:
         """Add a transaction; may trigger immediate service or a suspension."""
-        if transaction.is_read and self.config.read_priority:
+        is_read = transaction.kind in _READ_TRANSACTION_KINDS
+        if is_read and self._read_priority:
             self.read_queue.append(transaction)
         else:
             self.write_queue.append(transaction)
 
         if self.current is None:
             self._start_next()
-        elif (transaction.is_read and self.config.suspension
+        elif (is_read and self._suspension
               and self._current_is_suspendable()):
             self._suspend_current()
             self._start_next()
@@ -83,10 +103,7 @@ class DieScheduler:
         active = self.current
         if active is None or active.suspended_before:
             return False
-        return active.transaction.kind in (TransactionKind.PROGRAM,
-                                           TransactionKind.GC_PROGRAM,
-                                           TransactionKind.TRANS_PROGRAM,
-                                           TransactionKind.ERASE)
+        return active.transaction.kind in _SUSPENDABLE_KINDS
 
     def _suspend_current(self) -> None:
         """Suspend the in-flight program/erase so a read can run first."""
@@ -125,17 +142,22 @@ class DieScheduler:
 
     def _start(self, transaction: FlashTransaction) -> None:
         now = self.events.now_us
-        remaining = getattr(transaction, "remaining_service_us", None)
+        remaining = transaction.remaining_service_us
         if remaining is not None:
             service = remaining
         else:
             service = self.service_time_fn(transaction)
         if transaction.service_start_us is None:
             transaction.service_start_us = now
-        handle = self.events.schedule_after(
-            service, lambda txn=transaction: self._complete(txn))
-        self.current = _ActiveOperation(transaction=transaction, start_us=now,
-                                        service_us=service, handle=handle)
+        if self._suspension and transaction.kind in _SUSPENDABLE_KINDS:
+            # Only an operation a read may suspend needs a cancellable event.
+            handle = self.events.schedule_call_after(
+                service, self._complete, transaction)
+        else:
+            self.events.schedule_call(now + service, self._complete,
+                                      transaction)
+            handle = None
+        self.current = _ActiveOperation(transaction, now, service, handle)
 
     def _complete(self, transaction: FlashTransaction) -> None:
         active = self.current

@@ -167,27 +167,41 @@ class SyntheticWorkload:
         time_us = start_time_us
         previous_end_lpn: Optional[int] = None
         previous_was_read = True
+        # Local bindings for the per-request loop.  This is pure attribute
+        # hoisting: the RNG methods are bound, not wrapped, so the draw
+        # sequence (order, count and distribution of every call) is
+        # bit-identical to the unhoisted loop.
+        rng_exponential = rng.exponential
+        rng_random = rng.random
+        rng_geometric = rng.geometric
+        mean_interarrival_us = shape.mean_interarrival_us
+        read_ratio = shape.read_ratio
+        sequential_fraction = shape.sequential_fraction
+        geometric_p = 1.0 / max(1.0, shape.mean_request_pages)
+        kind_read = RequestKind.READ
+        kind_write = RequestKind.WRITE
+        pick_start = self._pick_start
+        clamp = self._clamp
 
         for _ in range(num_requests):
-            time_us += float(rng.exponential(shape.mean_interarrival_us))
-            is_read = bool(rng.random() < shape.read_ratio)
-            page_count = 1 + int(rng.geometric(
-                1.0 / max(1.0, shape.mean_request_pages)) - 1)
+            time_us += float(rng_exponential(mean_interarrival_us))
+            is_read = bool(rng_random() < read_ratio)
+            page_count = 1 + int(rng_geometric(geometric_p) - 1)
             page_count = max(1, min(page_count, 64))
 
             sequential = (previous_end_lpn is not None
                           and previous_was_read == is_read
-                          and rng.random() < shape.sequential_fraction)
+                          and rng_random() < sequential_fraction)
             if sequential:
                 start_lpn = previous_end_lpn
             else:
-                start_lpn = self._pick_start(rng, is_read, update_pages)
-            start_lpn, page_count = self._clamp(start_lpn, page_count, is_read,
-                                                update_pages)
+                start_lpn = pick_start(rng, is_read, update_pages)
+            start_lpn, page_count = clamp(start_lpn, page_count, is_read,
+                                          update_pages)
 
             yield HostRequest(
                 arrival_us=time_us,
-                kind=RequestKind.READ if is_read else RequestKind.WRITE,
+                kind=kind_read if is_read else kind_write,
                 start_lpn=start_lpn,
                 page_count=page_count,
             )

@@ -1,0 +1,195 @@
+"""Bitwise equivalence of batched read dispatch and bulk preconditioning.
+
+The batched same-die completion path (``SsdSimulator(batch_read_dispatch=
+True)``, the default) must be a pure dispatch optimization: every simulated
+time, every retry count, every counter except its own two
+(``batched_completions`` / ``batch_dispatch_calls``) must match the scalar
+path bit for bit.  Likewise ``FlashTranslationLayer.precondition_fill`` must
+produce the exact allocator state of the per-LPN write loop it replaces.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ssd.config import SsdConfig
+from repro.ssd.controller import SsdSimulator
+from repro.ssd.ftl import FlashTranslationLayer
+from repro.ssd.request import HostRequest, RequestKind
+from repro.ssd.retry_grid import RetryStepGrid
+
+#: Counters that only the batched run increments, by design.
+BATCH_ONLY_COUNTERS = ("batched_completions", "batch_dispatch_calls")
+
+
+def _batchable_config():
+    """A geometry whose grid actually prepares batched behaviours.
+
+    The grid promotes a condition to its vectorized slab after
+    ``corner_count // 160`` scalar queries; on ``SsdConfig.tiny()`` that
+    threshold is 1, so every cold query promotes immediately and
+    ``peek_batch`` (correctly) prepares nothing.  512 corners give a
+    threshold of 3, which is what the single-device hot path looks like.
+    """
+    return SsdConfig(channels=2, dies_per_channel=2, planes_per_die=2,
+                     blocks_per_plane=64, pages_per_block=16,
+                     write_buffer_pages=16)
+
+
+def _trace(entries, footprint):
+    """Build a nondecreasing-arrival request list from draw tuples."""
+    requests = []
+    time_us = 0.0
+    for is_read, lpn, pages, gap_us in entries:
+        time_us += gap_us
+        requests.append(HostRequest(
+            arrival_us=time_us,
+            kind=RequestKind.READ if is_read else RequestKind.WRITE,
+            start_lpn=lpn % footprint,
+            page_count=pages,
+        ))
+    return requests
+
+
+def _run(config, requests, batch, rpt):
+    completions = []
+    simulator = SsdSimulator(config, policy="PnAR2", rpt=rpt,
+                             batch_read_dispatch=batch)
+    # A private grid per run: backends of the same config share a
+    # process-wide grid, so the first run's slab promotions would reclass
+    # the second run's grid_hits/scalar_fallbacks split (the behaviours
+    # themselves are bitwise-identical either way).
+    simulator.backend._grid = RetryStepGrid(config,
+                                            rpt=simulator.backend.rpt)
+    simulator.precondition(pe_cycles=1500, retention_months=9.0)
+    simulator.on_request_complete = (
+        lambda request, now_us: completions.append(
+            (request.request_id, now_us)))
+    result = simulator.run(requests)
+    return result, completions
+
+
+class TestBatchedDispatchEquivalence:
+    # Multi-page reads on a tiny geometry collide on the same die by
+    # construction; interleaved writes remap pages into fresh blocks so the
+    # trace reads under two conditions (aged cold data vs rewrites) and the
+    # service-time (P/E, retention) re-validation actually discriminates.
+    entries = st.lists(
+        st.tuples(
+            st.booleans(),
+            st.integers(min_value=0, max_value=10_000),
+            st.integers(min_value=1, max_value=8),
+            st.floats(min_value=0.0, max_value=400.0,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        min_size=1, max_size=40,
+    )
+
+    @given(entries)
+    @settings(max_examples=25, deadline=None)
+    def test_batched_equals_scalar_bitwise(self, default_rpt, entries):
+        config = _batchable_config()
+        footprint = config.logical_pages
+        requests = _trace(entries, footprint)
+        batched, batched_completions = _run(config, requests, True,
+                                            default_rpt)
+        scalar, scalar_completions = _run(config, requests, False,
+                                          default_rpt)
+
+        # Per-request completion times: exact float equality, same order.
+        assert batched_completions == scalar_completions
+
+        batched_summary = batched.metrics.summary()
+        scalar_summary = scalar.metrics.summary()
+        for key in BATCH_ONLY_COUNTERS:
+            assert scalar_summary.pop(key) == 0
+            batched_summary.pop(key)
+        assert batched_summary == scalar_summary
+
+    def test_batched_counters_recorded(self, default_rpt):
+        # Preconditioning prefills the aged condition's slab, so the batch
+        # path has nothing to prepare for cold-data reads.  A multi-page
+        # read-back of freshly rewritten pages is the motivating case: the
+        # rewrite condition is novel and below the promote threshold, so
+        # its first reads walk the lattice once at dispatch instead of
+        # scalar-walking at service time.
+        config = _batchable_config()
+        simulator = SsdSimulator(config, policy="PnAR2", rpt=default_rpt)
+        simulator.precondition(pe_cycles=3000, retention_months=12.0)
+        requests = [
+            HostRequest(arrival_us=0.0, kind=RequestKind.WRITE,
+                        start_lpn=0, page_count=8),
+            HostRequest(arrival_us=5000.0, kind=RequestKind.READ,
+                        start_lpn=0, page_count=8),
+        ]
+        result = simulator.run(requests)
+        summary = result.metrics.summary()
+        assert summary["batch_dispatch_calls"] >= 1
+        assert summary["batched_completions"] >= 1
+        assert summary["batched_completions"] <= summary["host_reads"] * 8
+
+    def test_scalar_mode_keeps_counters_at_zero(self, default_rpt):
+        config = _batchable_config()
+        simulator = SsdSimulator(config, policy="PnAR2", rpt=default_rpt,
+                                 batch_read_dispatch=False)
+        simulator.precondition(pe_cycles=3000, retention_months=12.0)
+        request = HostRequest(arrival_us=0.0, kind=RequestKind.READ,
+                              start_lpn=0, page_count=8)
+        result = simulator.run([request])
+        assert result.metrics.batch_dispatch_calls == 0
+        assert result.metrics.batched_completions == 0
+
+
+def _loop_preconditioned(config, pages, retention_months, pe_cycles):
+    """The per-LPN reference: write each LPN in order, then age uniformly."""
+    ftl = FlashTranslationLayer(config)
+    for lpn in range(pages):
+        ftl.write(lpn, retention_months=retention_months)
+    ftl.set_uniform_pe_cycles(pe_cycles)
+    return ftl
+
+
+def _assert_ftl_state_equal(filled, looped):
+    assert filled._mapping == looped._mapping
+    # Mapping *insertion order* feeds iteration downstream; compare it too.
+    assert list(filled._mapping) == list(looped._mapping)
+    assert filled._next_plane == looped._next_plane
+    for plane_fill, plane_loop in zip(filled.planes, looped.planes):
+        assert plane_fill._active_block == plane_loop._active_block
+        assert plane_fill._filled_blocks == plane_loop._filled_blocks
+        assert plane_fill._free_blocks == plane_loop._free_blocks
+        for block_fill, block_loop in zip(plane_fill.blocks,
+                                          plane_loop.blocks):
+            assert block_fill.page_lpns == block_loop.page_lpns
+            assert (block_fill.page_retention_months
+                    == block_loop.page_retention_months)
+            assert block_fill.next_free_page == block_loop.next_free_page
+            assert block_fill.valid_count == block_loop.valid_count
+            assert block_fill.pe_cycles == block_loop.pe_cycles
+
+
+class TestPreconditionFillEquivalence:
+    @given(st.integers(min_value=0, max_value=1),
+           st.sampled_from([0.0, 0.1, 0.5, 0.62, 0.85, 1.0]))
+    @settings(max_examples=12, deadline=None)
+    def test_closed_form_matches_write_loop(self, aged, fill_fraction):
+        config = SsdConfig.tiny()
+        pages = int(config.logical_pages * fill_fraction)
+        retention = 6.0 if aged else 0.0
+        pe_cycles = 1000 if aged else 0
+        filled = FlashTranslationLayer(config)
+        filled.precondition_fill(pages, retention_months=retention,
+                                 pe_cycles=pe_cycles)
+        looped = _loop_preconditioned(config, pages, retention, pe_cycles)
+        _assert_ftl_state_equal(filled, looped)
+
+    def test_non_fresh_ftl_falls_back_to_loop(self):
+        config = SsdConfig.tiny()
+        filled = FlashTranslationLayer(config)
+        filled.write(3)  # any prior write voids the closed form
+        filled.precondition_fill(16, retention_months=6.0, pe_cycles=500)
+        looped = FlashTranslationLayer(config)
+        looped.write(3)
+        for lpn in range(16):
+            looped.write(lpn, retention_months=6.0)
+        looped.set_uniform_pe_cycles(500)
+        _assert_ftl_state_equal(filled, looped)

@@ -290,6 +290,94 @@ class TestPickleSafePool:
         assert lint(engine, source) == []
 
 
+# -- rule: no-dict-order-across-pool -------------------------------------------
+class TestNoDictOrderAcrossPool:
+    PROLOGUE = "from repro.sim.sweep import pool_map\n\n"
+    EPILOGUE = "\ndef run(payloads):\n    return pool_map(worker, payloads, 2)\n"
+
+    def _worker(self, body):
+        return self.PROLOGUE + body + self.EPILOGUE
+
+    BAD_BODIES = (
+        # Bare iteration of a parameter the body also uses as a dict.
+        "def worker(payload):\n"
+        "    rows = []\n"
+        "    for key in payload:\n"
+        "        rows.append(payload.get(key))\n"
+        "    return rows\n",
+        # Dict views are order-sensitive without corroborating evidence.
+        "def worker(payload):\n"
+        "    return [value for key, value in payload.items()]\n",
+        "def worker(payload):\n"
+        "    out = []\n"
+        "    for value in payload.values():\n"
+        "        out.append(value)\n"
+        "    return out\n",
+        # Order-preserving materializations of a view.
+        "def worker(payload):\n"
+        "    return list(payload.keys())\n",
+        "def worker(payload):\n"
+        "    return tuple(enumerate(payload.items()))\n",
+    )
+
+    @pytest.mark.parametrize("body", BAD_BODIES)
+    def test_worker_dict_iteration_flagged(self, engine, body):
+        assert rules_hit(engine, self._worker(body)) == [
+            "no-dict-order-across-pool"
+        ]
+
+    GOOD_BODIES = (
+        # sorted(...) makes the result a function of content, not order.
+        "def worker(payload):\n"
+        "    return [payload[key] for key in sorted(payload)]\n",
+        "def worker(payload):\n"
+        "    rows = []\n"
+        "    for key, value in sorted(payload.items()):\n"
+        "        rows.append((key, value))\n"
+        "    return rows\n",
+        # Order-insensitive consumers are fine unsorted.
+        "def worker(payload):\n"
+        "    return sum(value for value in payload.values())\n",
+        "def worker(payload):\n"
+        "    return len(payload), max(payload.keys())\n",
+        "def worker(payload):\n"
+        "    return {key for key in payload.keys()}\n",
+        # Key lookups do not read iteration order at all.
+        "def worker(payload):\n"
+        "    return payload[\"seed\"] + payload.get(\"offset\", 0)\n",
+        # A bare parameter with no dict evidence stays unflagged (it may
+        # be the list of this device's requests).
+        "def worker(items):\n"
+        "    return [item * 2 for item in items]\n",
+    )
+
+    @pytest.mark.parametrize("body", GOOD_BODIES)
+    def test_content_pure_workers_are_fine(self, engine, body):
+        assert lint(engine, self._worker(body)) == []
+
+    def test_non_worker_functions_are_not_flagged(self, engine):
+        # Same dict iteration, but the function never crosses a pool
+        # boundary — parent-side code may rely on its own insertion order.
+        source = (
+            "def summarize(payload):\n"
+            "    return [v for k, v in payload.items()]\n"
+        )
+        assert lint(engine, source) == []
+
+    def test_worker_through_partial_flagged(self, engine):
+        source = (
+            "from functools import partial\n"
+            "from repro.sim.sweep import pool_map\n"
+            "\n"
+            "def worker(payload, scale=1):\n"
+            "    return [v * scale for v in payload.values()]\n"
+            "\n"
+            "def run(payloads):\n"
+            "    return pool_map(partial(worker, scale=3), payloads, 2)\n"
+        )
+        assert rules_hit(engine, source) == ["no-dict-order-across-pool"]
+
+
 # -- rule: experiment-registration-sync ----------------------------------------
 class TestExperimentRegistrationSync:
     MODULE = "src/repro/experiments/example.py"
@@ -695,4 +783,4 @@ class TestSelfLint:
         )
 
     def test_default_rule_set_is_complete(self):
-        assert len(default_rules()) == len(RULE_NAMES) == 7
+        assert len(default_rules()) == len(RULE_NAMES) == 8
