@@ -10,6 +10,7 @@ import pytest
 
 from repro.ecc.bch import BchCode
 from repro.errors import CodewordErrorModel, OperatingCondition
+from repro.experiments.store import CheckpointStore
 from repro.errors.batch import BatchErrorModel
 from repro.nand.geometry import PageType
 from repro.sim.fleet import FleetRunner, FleetSpec
@@ -157,4 +158,34 @@ def test_bench_fleet_throughput(benchmark, bench_rpt):
                                 warmup_rounds=1)
     merged = result.merged
     assert merged.host_reads > 300
-    assert len(result.device_results) == 8
+    assert result.device_count == 8
+
+
+def test_bench_fleet_sharded_resume(benchmark, bench_rpt, tmp_path):
+    """Resume of a fully checkpointed sharded fleet run.
+
+    Every shard is served from the checkpoint store, so the number tracks
+    the resume overhead itself: checkpoint key hashing, JSON load + digest
+    verification, and the streaming histogram fold — the fixed cost a
+    rack-scale rerun pays before any new simulation work starts.
+    """
+    spec = FleetSpec(devices=16, stripe_unit_pages=4, replication=1,
+                     config=SsdConfig.tiny(),
+                     condition=Condition(pe_cycles=1000,
+                                         retention_months=6.0))
+    store = CheckpointStore(tmp_path)
+    # Populate every shard checkpoint once, outside the timed region.
+    FleetRunner(spec, processes=1, rpt=bench_rpt, shard_devices=4,
+                checkpoint=store).run("YCSB-C", policies="PnAR2",
+                                      num_requests=400, seed=7)
+
+    def resume_fleet():
+        runner = FleetRunner(spec, processes=1, rpt=bench_rpt,
+                             shard_devices=4, checkpoint=store)
+        return runner.run("YCSB-C", policies="PnAR2", num_requests=400,
+                          seed=7)
+
+    run = benchmark.pedantic(resume_fleet, iterations=1, rounds=5,
+                             warmup_rounds=1)
+    assert run.manifest["checkpoints"] == {"hits": 4, "stored": 0}
+    assert run.result.device_count == 16

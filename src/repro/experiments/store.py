@@ -159,3 +159,125 @@ class ArtifactStore:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ArtifactStore({str(self.root)!r})"
+
+
+def _canonical_json(value) -> str:
+    return json.dumps(jsonify(value), sort_keys=True, separators=(",", ":"))
+
+
+class CheckpointStore:
+    """Raw-JSON sibling of :class:`ArtifactStore` for mid-run checkpoints.
+
+    Where the artifact store holds *finished* :class:`ExperimentResult`
+    documents, the checkpoint store holds arbitrary JSON payloads produced
+    mid-run — completed fleet-shard metrics, capacity-search probe trails —
+    keyed by the SHA-256 of their fully resolved parameters under a ``kind``
+    namespace::
+
+        <cache root>/checkpoints/fleet_shard/ab12cd34....json
+
+    It shares the cache root (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``)
+    and the store semantics: atomic write-then-rename saves, and any
+    unreadable, torn, or corrupted entry counts as a plain miss so the
+    caller just recomputes.  Each entry embeds a content digest of its
+    payload; a checkpoint that decodes as JSON but fails the digest (e.g. a
+    flipped byte) is rejected the same way a truncated file is.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = (Path(root).expanduser() if root is not None
+                     else default_cache_root()) / "checkpoints"
+        self.hits = 0
+        self.misses = 0
+
+    # -- addressing -----------------------------------------------------------
+    def key(self, params: Mapping[str, object]) -> str:
+        """Content address of a checkpoint: its resolved parameters."""
+        digest = hashlib.sha256(
+            _canonical_json(dict(params)).encode("utf-8"))
+        return digest.hexdigest()[:24]
+
+    def path(self, kind: str, params: Mapping[str, object]) -> Path:
+        return self.root / kind / f"{self.key(params)}.json"
+
+    # -- access ---------------------------------------------------------------
+    def load(self, kind: str, params: Mapping[str, object]):
+        """The stored payload for (kind, params), or None on a miss.
+
+        Unreadable files, JSON that does not parse (a torn or truncated
+        write), entries without the expected envelope, and payloads whose
+        content digest does not match all count as misses — the shard or
+        probe simply re-runs.
+        """
+        path = self.path(kind, params)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            document = json.loads(text)
+            payload = document["payload"]
+            digest = document["sha256"]
+        except (ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        expected = hashlib.sha256(
+            _canonical_json(payload).encode("utf-8")).hexdigest()
+        if digest != expected:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def save(self, kind: str, params: Mapping[str, object],
+             payload) -> Path:
+        """Persist ``payload`` atomically under (kind, params)."""
+        path = self.path(kind, params)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "kind": kind,
+            "params": jsonify(dict(params)),
+            "payload": jsonify(payload),
+            "sha256": hashlib.sha256(
+                _canonical_json(payload).encode("utf-8")).hexdigest(),
+        }
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=path.parent, suffix=".tmp", delete=False)
+        try:
+            with handle:
+                json.dump(document, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            os.unlink(handle.name)
+            raise
+        return path
+
+    # -- maintenance ----------------------------------------------------------
+    def entries(self, kind: Optional[str] = None) -> List[Path]:
+        """Paths of every stored checkpoint, optionally for one kind."""
+        if not self.root.is_dir():
+            return []
+        directories = ([self.root / kind] if kind is not None
+                       else sorted(child for child in self.root.iterdir()
+                                   if child.is_dir()))
+        paths: List[Path] = []
+        for directory in directories:
+            if directory.is_dir():
+                paths.extend(sorted(directory.glob("*.json")))
+        return paths
+
+    def clear(self, kind: Optional[str] = None) -> int:
+        """Delete stored checkpoints; returns the number removed."""
+        removed = 0
+        for path in self.entries(kind):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stored": len(self.entries())}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CheckpointStore({str(self.root)!r})"

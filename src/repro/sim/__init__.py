@@ -38,13 +38,16 @@ from repro.sim.registry import (
 )
 
 __all__ = [
+    "CapacityProbe",
     "CapacityResult",
     "Condition",
     "DEFAULT_REGISTRY",
+    "DEFAULT_SHARD_DEVICES",
     "DuplicatePolicyError",
     "FleetResult",
     "FleetRunResult",
     "FleetRunner",
+    "FleetShardTiming",
     "FleetSpec",
     "PolicyLookupError",
     "PolicyRegistry",
@@ -54,6 +57,7 @@ __all__ = [
     "SweepResult",
     "SweepRunner",
     "TenantMix",
+    "WorkerPool",
     "WorkloadSpec",
     "default_registry",
     "pool_map",
@@ -67,12 +71,16 @@ _LAZY = {
     "RunResult": "repro.sim.session",
     "SweepRunner": "repro.sim.sweep",
     "SweepResult": "repro.sim.sweep",
+    "WorkerPool": "repro.sim.sweep",
     "pool_map": "repro.sim.sweep",
+    "DEFAULT_SHARD_DEVICES": "repro.sim.fleet",
     "FleetSpec": "repro.sim.fleet",
     "FleetRunner": "repro.sim.fleet",
     "FleetResult": "repro.sim.fleet",
     "FleetRunResult": "repro.sim.fleet",
+    "FleetShardTiming": "repro.sim.fleet",
     "SloCapacitySearch": "repro.sim.fleet",
+    "CapacityProbe": "repro.sim.fleet",
     "CapacityResult": "repro.sim.fleet",
     "TenantMix": "repro.workloads.tenants",
 }

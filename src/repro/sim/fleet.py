@@ -14,10 +14,9 @@ the array sustain under a p99 SLO?".  This module answers both:
   :class:`~repro.sim.spec.WorkloadSpec`, a multi-tenant
   :class:`~repro.workloads.tenants.TenantMix`, or an explicit request list)
   across per-device :class:`~repro.ssd.controller.SsdSimulator` instances
-  via the striping router, fanning devices over the shared
-  :func:`~repro.sim.sweep.pool_map` worker pool.  Every device worker
-  regenerates its own shard from the spec, so nothing is materialized in
-  the parent and ``processes=N`` is bitwise-identical to serial;
+  via the striping router.  Every device worker regenerates its own shard
+  from the spec, so nothing is materialized in the parent and
+  ``processes=N`` is bitwise-identical to serial;
 * :class:`FleetResult` — array-level metrics from
   :meth:`~repro.ssd.metrics.LatencyHistogram.merge`: overall and per-tenant
   p50/p99/p999, per-device utilization skew;
@@ -26,37 +25,72 @@ the array sustain under a p99 SLO?".  This module answers both:
   within a target, the fleet-sizing primitive behind
   ``Simulation.fleet(n).slo(p99_us=...)`` and the ``fleet_capacity``
   experiment.
+
+Rack-scale mechanics (the three levers that keep 10k-device fleets
+tractable):
+
+* **Shared-memory slab transport** — the parent prefills the fleet's
+  retry-step slabs once and publishes them through
+  :mod:`repro.ssd.slab_transport`; worker payloads carry a tiny descriptor
+  instead of per-payload pickled arrays, with a transparent fallback to the
+  inline pickle path when shared memory is unavailable.
+* **Sharded streaming execution** — devices are dispatched in bounded
+  shards (``shard_devices``, default :data:`DEFAULT_SHARD_DEVICES`) and each
+  device's metrics are folded into the running :class:`FleetResult` as they
+  land, so peak memory follows the shard size, not the fleet size.
+  Per-shard wall-clock timings are recorded for later multi-host placement.
+* **Checkpoint/resume** — with a ``checkpoint`` store attached, every
+  completed shard's per-device metric states (and every capacity-search
+  probe) are persisted to the
+  :class:`~repro.experiments.store.CheckpointStore`, keyed by (schema
+  version, fleet spec, source, policy, shard index).  A killed run resumes
+  mid-fleet — checkpointed shards are folded back in the original device
+  order, which makes the resumed result *bitwise-identical* to an
+  uninterrupted run (the fold is Neumaier-compensated and therefore not
+  associative, so shards are never pre-merged).
 """
 
 from __future__ import annotations
 
+import hashlib
+import logging
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.rpt import ReadTimingParameterTable
+from repro.experiments.store import CheckpointStore
 from repro.sim.registry import default_registry
 from repro.sim.spec import Condition, WorkloadSpec
-from repro.sim.sweep import DEFAULT_MEAN_INTERARRIVAL_US, _default_rpt, pool_map
+from repro.sim.sweep import DEFAULT_MEAN_INTERARRIVAL_US, WorkerPool, _default_rpt
 from repro.ssd.config import SsdConfig
-from repro.ssd.controller import (
-    DEFAULT_LOOKAHEAD_REQUESTS,
-    SimulationResult,
-    SsdSimulator,
-)
+from repro.ssd.controller import DEFAULT_LOOKAHEAD_REQUESTS, SimulationResult, SsdSimulator
 from repro.ssd.faults import FaultPlan
 from repro.ssd.metrics import SimulationMetrics
 from repro.ssd.request import HostRequest
+from repro.ssd.retry_grid import rpt_fingerprint, shared_grid
+from repro.ssd.slab_transport import payload_slabs, publish_slabs
 from repro.workloads.router import StripeRouter
-from repro.workloads.source import (
-    is_workload_source,
-    source_from_dict,
-    source_to_dict,
-)
+from repro.workloads.source import is_workload_source, source_from_dict, source_to_dict
 from repro.workloads.tenants import TenantMix
+
+logger = logging.getLogger("repro.sim.fleet")
 
 #: Any array-level request source the fleet can shard.
 FleetSource = Union[str, WorkloadSpec, TenantMix, Sequence[HostRequest], dict]
+
+#: Devices dispatched (and checkpointed) per shard unless overridden.
+DEFAULT_SHARD_DEVICES = 64
+
+#: Version of the checkpoint payload layout; part of every checkpoint key,
+#: so changing the serialized form orphans old entries instead of
+#: misreading them.
+FLEET_CHECKPOINT_SCHEMA = 1
+
+#: Checkpoint namespaces (directories under ``<cache root>/checkpoints/``).
+FLEET_SHARD_KIND = "fleet_shard"
+PROBE_TRAIL_KIND = "slo_probes"
 
 
 @dataclass(frozen=True)
@@ -79,18 +113,17 @@ class FleetSpec:
         if not 1 <= self.replication <= self.devices:
             raise ValueError("replication must be in [1, devices]")
         if self.device_conditions is not None:
-            coerced = tuple(Condition.coerce(condition)
-                            for condition in self.device_conditions)
+            coerced = tuple(Condition.coerce(condition) for condition in self.device_conditions)
             if len(coerced) != self.devices:
-                raise ValueError(
-                    f"{len(coerced)} device_conditions for "
-                    f"{self.devices} devices")
+                raise ValueError(f"{len(coerced)} device_conditions for {self.devices} devices")
             object.__setattr__(self, "device_conditions", coerced)
 
     def router(self) -> StripeRouter:
-        return StripeRouter(devices=self.devices,
-                            stripe_unit_pages=self.stripe_unit_pages,
-                            replication=self.replication)
+        return StripeRouter(
+            devices=self.devices,
+            stripe_unit_pages=self.stripe_unit_pages,
+            replication=self.replication,
+        )
 
     @property
     def array_logical_pages(self) -> int:
@@ -124,14 +157,12 @@ class FleetSpec:
         payload["condition"] = Condition.from_dict(payload["condition"])
         if payload.get("device_conditions") is not None:
             payload["device_conditions"] = tuple(
-                Condition.from_dict(condition)
-                for condition in payload["device_conditions"]
+                Condition.from_dict(condition) for condition in payload["device_conditions"]
             )
         return cls(**payload)
 
 
-def _source_payload(source: FleetSource, num_requests: Optional[int],
-                    seed: Optional[int]) -> dict:
+def _source_payload(source: FleetSource, num_requests: Optional[int], seed: Optional[int]) -> dict:
     """Normalize an array-level request source into a picklable payload."""
     if isinstance(source, TenantMix):
         return {"tenant_mix": source.to_dict()}
@@ -142,8 +173,7 @@ def _source_payload(source: FleetSource, num_requests: Optional[int],
         # in the parent, not inside a pool worker.
         return {"source": source_to_dict(source_from_dict(source))}
     if isinstance(source, (str, WorkloadSpec, dict)):
-        spec = WorkloadSpec.coerce(source, num_requests=num_requests,
-                                   seed=seed)
+        spec = WorkloadSpec.coerce(source, num_requests=num_requests, seed=seed)
         return {"workload": spec.to_dict()}
     if is_workload_source(source):
         return {"source": source_to_dict(source)}
@@ -151,7 +181,8 @@ def _source_payload(source: FleetSource, num_requests: Optional[int],
         return {"requests": list(source)}
     raise TypeError(
         f"cannot shard {source!r}; pass a workload name/spec, a TenantMix, "
-        "a WorkloadSource, or a sequence of HostRequest objects")
+        "a WorkloadSource, or a sequence of HostRequest objects"
+    )
 
 
 def _source_stream(payload: dict, spec: FleetSpec) -> Iterable[HostRequest]:
@@ -186,6 +217,21 @@ def _payload_tracks_tenants(payload: dict) -> bool:
     return False
 
 
+def _requests_digest(requests: Sequence[HostRequest]) -> str:
+    """Stable digest of an explicit request list (checkpoint identity).
+
+    Hashes the requests' logical identity, not their ``repr`` — request ids
+    come from a process-local counter and would defeat resume.
+    """
+    digest = hashlib.sha256()
+    for request in requests:
+        digest.update(
+            f"{request.arrival_us}:{request.kind.name}:{request.start_lpn}:"
+            f"{request.page_count}:{request.queue_id}\n".encode("utf-8")
+        )
+    return digest.hexdigest()
+
+
 def _run_fleet_device(payload: dict) -> Tuple[str, int, SimulationResult]:
     """Simulate one device's shard — pure function of its payload.
 
@@ -197,15 +243,26 @@ def _run_fleet_device(payload: dict) -> Tuple[str, int, SimulationResult]:
     policy_name = payload["policy"]
     rpt = payload.get("rpt") or _default_rpt()
     config = spec.config
-    policy = default_registry().create(policy_name, timing=config.timing,
-                                       rpt=rpt)
-    simulator = SsdSimulator(config=config, policy=policy, rpt=rpt,
-                             device_id=device,
-                             track_tenants=_payload_tracks_tenants(payload))
+    slabs = payload_slabs(payload)
+    if slabs:
+        # Install the parent-built retry-step slabs into this process's
+        # shared grid instead of recomputing them per worker (a fork-start
+        # worker usually inherited them already; install_slabs then no-ops).
+        shared_grid(config, rpt).install_slabs(slabs)
+    policy = default_registry().create(policy_name, timing=config.timing, rpt=rpt)
+    simulator = SsdSimulator(
+        config=config,
+        policy=policy,
+        rpt=rpt,
+        device_id=device,
+        track_tenants=_payload_tracks_tenants(payload),
+    )
     condition = spec.device_condition(device)
-    simulator.precondition(pe_cycles=condition.pe_cycles,
-                           retention_months=condition.retention_months,
-                           fill_fraction=condition.fill_fraction)
+    simulator.precondition(
+        pe_cycles=condition.pe_cycles,
+        retention_months=condition.retention_months,
+        fill_fraction=condition.fill_fraction,
+    )
     if payload.get("faults"):
         simulator.install_faults(FaultPlan.from_dict(payload["faults"]))
     if "device_requests" in payload:
@@ -214,35 +271,93 @@ def _run_fleet_device(payload: dict) -> Tuple[str, int, SimulationResult]:
         shard: Iterable[HostRequest] = payload["device_requests"]
     else:
         shard = spec.router().shard(_source_stream(payload, spec), device)
-    result = simulator.run(shard, lookahead=payload.get("lookahead")
-                           or DEFAULT_LOOKAHEAD_REQUESTS)
+    result = simulator.run(shard, lookahead=payload.get("lookahead") or DEFAULT_LOOKAHEAD_REQUESTS)
     return policy_name, device, result
 
 
-@dataclass
-class FleetResult:
-    """Array-level outcome of one policy's fleet run."""
+@dataclass(frozen=True)
+class FleetShardTiming:
+    """Wall-clock accounting of one dispatched shard.
 
-    spec: FleetSpec
+    Recorded for later multi-host placement planning; deliberately kept out
+    of checkpoints and result comparisons (timings are the one
+    non-deterministic output of a run).
+    """
+
+    index: int
     policy: str
-    #: Per-device results, indexed by device id.
-    device_results: List[SimulationResult]
-    workload_label: str = ""
-    tenant_names: Optional[Tuple[str, ...]] = None
+    devices: int
+    elapsed_s: float
+    from_checkpoint: bool
 
-    def __post_init__(self) -> None:
-        self._merged: Optional[SimulationMetrics] = None
+    def to_dict(self) -> dict:
+        return {
+            "shard": self.index,
+            "policy": self.policy,
+            "devices": self.devices,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "from_checkpoint": self.from_checkpoint,
+        }
 
-    # -- aggregation -----------------------------------------------------------
-    @property
-    def merged(self) -> SimulationMetrics:
-        """Every device's metrics folded into one fixed-memory collector."""
-        if self._merged is None:
-            merged = SimulationMetrics()
-            for result in self.device_results:
-                merged.merge(result.metrics)
-            self._merged = merged
-        return self._merged
+
+class FleetResult:
+    """Array-level outcome of one policy's fleet run.
+
+    A *streaming* collector: the runner folds each device's finished
+    metrics in as it lands (:meth:`absorb_device`), so the result holds one
+    merged :class:`~repro.ssd.metrics.SimulationMetrics` plus a tidy report
+    row per device — never the per-device result objects — and a 10k-device
+    run costs shard-sized, not fleet-sized, memory.  Constructing with
+    ``device_results`` folds them immediately (the pre-streaming API).
+    """
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        policy: str,
+        device_results: Optional[Iterable[SimulationResult]] = None,
+        workload_label: str = "",
+        tenant_names: Optional[Tuple[str, ...]] = None,
+    ):
+        self.spec = spec
+        self.policy = policy
+        self.workload_label = workload_label
+        self.tenant_names = tenant_names
+        #: Every absorbed device's metrics folded into one collector.
+        self.merged = SimulationMetrics()
+        #: Per-shard wall-clock timings, appended by the runner.
+        self.shard_timings: List[FleetShardTiming] = []
+        self.device_count = 0
+        self._rows: List[dict] = []
+        self._utilizations: List[float] = []
+        for result in device_results or ():
+            self.absorb_device(result.device_id, result.metrics)
+
+    # -- streaming aggregation -------------------------------------------------
+    def absorb_device(self, device: int, metrics: SimulationMetrics) -> None:
+        """Fold one device's finished metrics into the running aggregate.
+
+        Devices must be absorbed in a deterministic order (the runner uses
+        ascending device id per policy): the latency fold is
+        Neumaier-compensated and therefore order-sensitive at the last bit.
+        """
+        combined = metrics.latency("all")
+        utilization = metrics.die_utilization()
+        self._rows.append(
+            {
+                "policy": self.policy,
+                "device": device,
+                "host_reads": metrics.host_reads,
+                "host_writes": metrics.host_writes,
+                "mean_response_us": round(metrics.mean_response_time_us(), 2),
+                "p99_response_us": round(combined.p99(), 2),
+                "p999_response_us": round(combined.p999(), 2),
+                "die_utilization": round(utilization, 3),
+            }
+        )
+        self._utilizations.append(utilization)
+        self.merged.merge(metrics)
+        self.device_count += 1
 
     def percentile(self, percentile: float, kind: str = "all") -> float:
         return self.merged.percentile_response_time_us(percentile, kind)
@@ -261,9 +376,11 @@ class FleetResult:
         """Per-tenant p50/p99/p999 merged across every device."""
         tails = {}
         for tenant, histogram in sorted(self.merged.tenant_latency.items()):
-            name = (self.tenant_names[tenant]
-                    if self.tenant_names and tenant < len(self.tenant_names)
-                    else str(tenant))
+            name = (
+                self.tenant_names[tenant]
+                if self.tenant_names and tenant < len(self.tenant_names)
+                else str(tenant)
+            )
             tails[name] = {
                 "count": histogram.count,
                 "p50_us": round(histogram.percentile(50.0), 2),
@@ -274,12 +391,13 @@ class FleetResult:
 
     # -- device balance --------------------------------------------------------
     def device_utilizations(self) -> List[float]:
-        return [result.metrics.die_utilization()
-                for result in self.device_results]
+        return list(self._utilizations)
 
     def utilization_skew(self) -> float:
         """max/mean device utilization — 1.0 is a perfectly balanced array."""
-        utilizations = self.device_utilizations()
+        utilizations = self._utilizations
+        if not utilizations:
+            return 1.0
         mean = sum(utilizations) / len(utilizations)
         if mean <= 0:
             return 1.0
@@ -288,21 +406,11 @@ class FleetResult:
     # -- reporting -------------------------------------------------------------
     def device_rows(self) -> List[dict]:
         """One tidy row per device (the fleet report's long format)."""
-        rows = []
-        for result in self.device_results:
-            metrics = result.metrics
-            combined = metrics.latency("all")
-            rows.append({
-                "policy": self.policy,
-                "device": result.device_id,
-                "host_reads": metrics.host_reads,
-                "host_writes": metrics.host_writes,
-                "mean_response_us": round(metrics.mean_response_time_us(), 2),
-                "p99_response_us": round(combined.p99(), 2),
-                "p999_response_us": round(combined.p999(), 2),
-                "die_utilization": round(metrics.die_utilization(), 3),
-            })
-        return rows
+        return [dict(row) for row in self._rows]
+
+    def shard_rows(self) -> List[dict]:
+        """Per-shard wall-clock rows (placement planning; not reproducible)."""
+        return [timing.to_dict() for timing in self.shard_timings]
 
     def summary(self) -> dict:
         combined = self.merged.latency("all")
@@ -345,49 +453,121 @@ class FleetRunResult:
     @property
     def result(self) -> FleetResult:
         if len(self.results) != 1:
-            raise ValueError(
-                f"run holds {len(self.results)} policies; index by name")
+            raise ValueError(f"run holds {len(self.results)} policies; index by name")
         return next(iter(self.results.values()))
 
     def rows(self) -> List[dict]:
-        return [row for result in self.results.values()
-                for row in result.device_rows()]
+        return [row for result in self.results.values() for row in result.device_rows()]
+
+    def shard_rows(self) -> List[dict]:
+        return [row for result in self.results.values() for row in result.shard_rows()]
 
 
 class FleetRunner:
-    """Executes an array-level workload across a fleet of simulated SSDs."""
+    """Executes an array-level workload across a fleet of simulated SSDs.
 
-    def __init__(self, spec: Optional[FleetSpec] = None, processes: int = 1,
-                 rpt: Optional[ReadTimingParameterTable] = None):
+    :param processes: worker-process count; 1 (default) runs in-process.
+    :param shard_devices: devices dispatched (and checkpointed) per shard;
+        ``None`` means :data:`DEFAULT_SHARD_DEVICES`.
+    :param checkpoint: a :class:`~repro.experiments.store.CheckpointStore`,
+        a cache-root path for one, or ``None`` (no checkpointing).
+    :param use_shared_memory: publish parent-built retry-grid slabs through
+        shared memory (falls back to inline pickling when unavailable).
+    """
+
+    def __init__(
+        self,
+        spec: Optional[FleetSpec] = None,
+        processes: int = 1,
+        rpt: Optional[ReadTimingParameterTable] = None,
+        shard_devices: Optional[int] = None,
+        checkpoint: Union[CheckpointStore, str, None] = None,
+        use_shared_memory: bool = True,
+    ):
         if processes < 1:
             raise ValueError("processes must be at least 1")
+        if shard_devices is not None and shard_devices < 1:
+            raise ValueError("shard_devices must be at least 1")
         self.spec = spec or FleetSpec()
         self.processes = processes
         self.rpt = rpt
+        self.shard_devices = DEFAULT_SHARD_DEVICES if shard_devices is None else int(shard_devices)
+        if checkpoint is None or isinstance(checkpoint, CheckpointStore):
+            self.checkpoint = checkpoint
+        else:
+            self.checkpoint = CheckpointStore(checkpoint)
+        self.use_shared_memory = use_shared_memory
         self._registry = default_registry()
 
-    def run(self, source: FleetSource,
-            policies: Union[str, Iterable[str]] = "Baseline",
-            num_requests: Optional[int] = None,
-            seed: Optional[int] = None,
-            lookahead: Optional[int] = None,
-            faults: Optional[FaultPlan] = None) -> FleetRunResult:
+    # -- dispatch helpers ------------------------------------------------------
+    def _shard_ranges(self) -> List[range]:
+        return [
+            range(start, min(start + self.shard_devices, self.spec.devices))
+            for start in range(0, self.spec.devices, self.shard_devices)
+        ]
+
+    def _slab_transport(self):
+        """Prefill the fleet's retry-step slabs once and pick a transport.
+
+        Returns ``(segment, inline_slabs)``: a published
+        :class:`~repro.ssd.slab_transport.SlabSegment` (inline ``None``)
+        when shared memory works, else ``(None, exports)`` for the pickle
+        path.  Every device reads cold data at its condition and rewritten
+        data at (P/E, 0), so both pairs are prefilled per distinct
+        condition, in device order (deterministic slab layout).
+        """
+        rpt = self.rpt or _default_rpt()
+        grid = shared_grid(self.spec.config, rpt)
+        pairs: List[Tuple[int, float]] = []
+        seen = set()
+        for device in range(self.spec.devices):
+            condition = self.spec.device_condition(device)
+            for pair in (
+                (condition.pe_cycles, float(condition.retention_months)),
+                (condition.pe_cycles, 0.0),
+            ):
+                if pair not in seen:
+                    seen.add(pair)
+                    pairs.append(pair)
+        exports = []
+        for pair in pairs:
+            # Export each slab immediately after its prefill: a fleet with
+            # more conditions than the grid's slab bound would otherwise
+            # evict early slabs before a batch export reads them.
+            grid.prefill([pair])
+            exports.extend(grid.export_slabs([pair]))
+        if self.use_shared_memory:
+            segment = publish_slabs(exports)
+            if segment is not None:
+                return segment, None
+        return None, exports
+
+    # -- execution -------------------------------------------------------------
+    def run(
+        self,
+        source: FleetSource,
+        policies: Union[str, Iterable[str]] = "Baseline",
+        num_requests: Optional[int] = None,
+        seed: Optional[int] = None,
+        lookahead: Optional[int] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> FleetRunResult:
         """Shard ``source`` across the fleet for every policy.
 
-        One payload per (policy, device) cell goes through
-        :func:`~repro.sim.sweep.pool_map`; each worker regenerates the
-        array-level stream from its spec/mix payload and filters it down
-        to its own device, so the parent never materializes a declarative
-        trace and worker results are pure functions of their payloads
-        (serial == parallel, bitwise).  Explicit request lists — already
-        materialized by definition — are sorted and sharded once in the
-        parent, so each worker receives only its own device's
-        sub-requests.
+        Devices go through the worker pool in bounded shards; each worker
+        regenerates the array-level stream from its spec/mix payload and
+        filters it down to its own device, so the parent never materializes
+        a declarative trace and worker results are pure functions of their
+        payloads (serial == parallel, bitwise).  Explicit request lists —
+        already materialized by definition — are sorted and sharded once in
+        the parent, so each worker receives only its own device's
+        sub-requests.  With a checkpoint store attached, finished shards
+        are persisted and later runs fold them back in instead of
+        re-simulating.
         """
         if isinstance(policies, str):
             policies = (policies,)
-        policy_names = tuple(self._registry.canonical_name(name)
-                             for name in policies)
+        policy_names = tuple(self._registry.canonical_name(name) for name in policies)
         if not policy_names:
             raise ValueError("no policies given")
         source_payload = _source_payload(source, num_requests, seed)
@@ -398,49 +578,134 @@ class FleetRunner:
             # are sorted up front"), then split per device so payloads
             # carry 1/N of the trace instead of devices x policies copies.
             router = self.spec.router()
-            ordered = sorted(source_payload.pop("requests"),
-                             key=lambda request: request.arrival_us)
-            shards = {device: list(router.shard(ordered, device))
-                      for device in range(self.spec.devices)}
+            ordered = sorted(source_payload.pop("requests"), key=lambda request: request.arrival_us)
+            shards = {
+                device: list(router.shard(ordered, device)) for device in range(self.spec.devices)
+            }
         else:
+            ordered = None
             shards = None
         fleet_dict = self.spec.to_dict()
-        payloads = [
-            dict(source_payload, fleet=fleet_dict, device=device,
-                 policy=policy, rpt=self.rpt, lookahead=lookahead,
-                 **({"faults": fault_plan.to_dict()} if fault_plan else {}),
-                 **({"device_requests": shards[device]}
-                    if shards is not None else {}))
-            for policy in policy_names
-            for device in range(self.spec.devices)
-        ]
-        outcomes = pool_map(_run_fleet_device, payloads, self.processes)
-
+        manifest_source = {key: value for key, value in source_payload.items() if key != "requests"}
         tenant_names = None
         if "tenant_mix" in source_payload:
-            tenant_names = TenantMix.from_dict(
-                source_payload["tenant_mix"]).tenant_names()
-        by_policy: Dict[str, List[SimulationResult]] = {
-            name: [None] * self.spec.devices for name in policy_names}
-        for policy, device, result in outcomes:
-            by_policy[policy][device] = result
+            tenant_names = TenantMix.from_dict(source_payload["tenant_mix"]).tenant_names()
         results = {
-            name: FleetResult(spec=self.spec, policy=name,
-                              device_results=by_policy[name],
-                              workload_label=label,
-                              tenant_names=tenant_names)
+            name: FleetResult(
+                spec=self.spec, policy=name, workload_label=label, tenant_names=tenant_names
+            )
             for name in policy_names
         }
+        base_params = None
+        if self.checkpoint is not None:
+            base_params = {
+                "schema": FLEET_CHECKPOINT_SCHEMA,
+                "fleet": fleet_dict,
+                "source": manifest_source,
+                "lookahead": lookahead,
+                "faults": fault_plan.to_dict() if fault_plan else None,
+                "rpt": rpt_fingerprint(self.rpt) if self.rpt is not None else None,
+            }
+            if ordered is not None:
+                base_params["requests_digest"] = _requests_digest(ordered)
+        checkpoint_hits = 0
+        checkpoint_stored = 0
+        segment, inline_slabs = self._slab_transport()
+        if segment is not None:
+            transport = {"grid_segment": segment.descriptor}
+        elif inline_slabs:
+            transport = {"grid_slabs": inline_slabs}
+        else:
+            transport = {}
+        shard_ranges = self._shard_ranges()
+        try:
+            with WorkerPool(self.processes) as pool:
+                for policy in policy_names:
+                    collector = results[policy]
+                    for shard_index, device_range in enumerate(shard_ranges):
+                        params = None
+                        restored = None
+                        if base_params is not None:
+                            params = dict(
+                                base_params,
+                                policy=policy,
+                                shard=shard_index,
+                                devices=[device_range.start, device_range.stop],
+                            )
+                            restored = self.checkpoint.load(FLEET_SHARD_KIND, params)
+                        started = time.perf_counter()  # repro-lint: disable=no-wall-clock
+                        if restored is not None:
+                            for device, state in zip(restored["devices"], restored["metrics"]):
+                                collector.absorb_device(
+                                    int(device), SimulationMetrics.from_state(state)
+                                )
+                            checkpoint_hits += 1
+                            logger.info(
+                                "fleet shard %d (policy %s, devices %d..%d) "
+                                "served from checkpoint",
+                                shard_index,
+                                policy,
+                                device_range.start,
+                                device_range.stop - 1,
+                            )
+                        else:
+                            payloads = [
+                                dict(
+                                    source_payload,
+                                    fleet=fleet_dict,
+                                    device=device,
+                                    policy=policy,
+                                    rpt=self.rpt,
+                                    lookahead=lookahead,
+                                    **({"faults": fault_plan.to_dict()} if fault_plan else {}),
+                                    **(
+                                        {"device_requests": shards[device]}
+                                        if shards is not None
+                                        else {}
+                                    ),
+                                    **transport,
+                                )
+                                for device in device_range
+                            ]
+                            devices: List[int] = []
+                            states: List[dict] = []
+                            for _, device, result in pool.map(_run_fleet_device, payloads):
+                                if params is not None:
+                                    devices.append(device)
+                                    states.append(result.metrics.to_state())
+                                collector.absorb_device(device, result.metrics)
+                            if params is not None:
+                                self.checkpoint.save(
+                                    FLEET_SHARD_KIND,
+                                    params,
+                                    {"devices": devices, "metrics": states},
+                                )
+                                checkpoint_stored += 1
+                        elapsed = time.perf_counter() - started  # repro-lint: disable=no-wall-clock
+                        collector.shard_timings.append(
+                            FleetShardTiming(
+                                index=shard_index,
+                                policy=policy,
+                                devices=len(device_range),
+                                elapsed_s=elapsed,
+                                from_checkpoint=restored is not None,
+                            )
+                        )
+        finally:
+            if segment is not None:
+                segment.close()
         manifest = {
             "fleet": fleet_dict,
-            "source": {key: value for key, value in source_payload.items()
-                       if key != "requests"},
+            "source": manifest_source,
             "policies": list(policy_names),
+            "shard_devices": self.shard_devices,
+            "slab_transport": "shared_memory" if segment is not None else "inline",
         }
         if fault_plan:
             manifest["faults"] = fault_plan.to_dict()
-        return FleetRunResult(spec=self.spec, results=results,
-                              manifest=manifest)
+        if self.checkpoint is not None:
+            manifest["checkpoints"] = {"hits": checkpoint_hits, "stored": checkpoint_stored}
+        return FleetRunResult(spec=self.spec, results=results, manifest=manifest)
 
 
 # -- SLO capacity search -------------------------------------------------------
@@ -451,8 +716,9 @@ def _current_rate_rps(source: Union[WorkloadSpec, TenantMix]) -> float:
     return 1e6 / interarrival
 
 
-def _with_rate(source: Union[WorkloadSpec, TenantMix],
-               rate_rps: float) -> Union[WorkloadSpec, TenantMix]:
+def _with_rate(
+    source: Union[WorkloadSpec, TenantMix], rate_rps: float
+) -> Union[WorkloadSpec, TenantMix]:
     if isinstance(source, TenantMix):
         return source.with_arrival_rate(rate_rps, DEFAULT_MEAN_INTERARRIVAL_US)
     return WorkloadSpec.coerce(source, mean_interarrival_us=1e6 / rate_rps)
@@ -493,20 +759,24 @@ class CapacityResult:
         return 1e6 / self.max_rate_rps
 
     def probe_rows(self) -> List[dict]:
-        return [{
-            "probe": index,
-            "rate_rps": round(probe.rate_rps, 2),
-            "mean_interarrival_us": round(probe.mean_interarrival_us, 2),
-            "p99_response_us": round(probe.p99_us, 2),
-            "meets_slo": probe.meets_slo,
-        } for index, probe in enumerate(self.probes)]
+        return [
+            {
+                "probe": index,
+                "rate_rps": round(probe.rate_rps, 2),
+                "mean_interarrival_us": round(probe.mean_interarrival_us, 2),
+                "p99_response_us": round(probe.p99_us, 2),
+                "meets_slo": probe.meets_slo,
+            }
+            for index, probe in enumerate(self.probes)
+        ]
 
     def summary(self) -> dict:
         return {
             "policy": self.policy,
             "target_p99_us": self.target_p99_us,
-            "max_rate_rps": (round(self.max_rate_rps, 2)
-                             if self.max_rate_rps is not None else None),
+            "max_rate_rps": (
+                round(self.max_rate_rps, 2) if self.max_rate_rps is not None else None
+            ),
             "converged": self.converged,
             "tolerance": self.tolerance,
             "probes": len(self.probes),
@@ -524,11 +794,23 @@ class SloCapacitySearch:
     of a work-conserving array is monotone, so bracketing plus bisection
     converges for any starting rate; every probe reuses the same stream
     seeds, which keeps the search deterministic.
+
+    When the runner has a checkpoint store, every completed probe is
+    persisted as a *probe trail*; a resumed search replays the trail
+    (skipping those probes' fleet runs entirely) and continues the
+    bisection mid-bracket.  The rate trajectory is exact arithmetic on the
+    starting rate, so replayed probes match rate-for-rate and the resumed
+    :class:`CapacityResult` is bitwise-identical to an uninterrupted one.
     """
 
-    def __init__(self, runner: FleetRunner, target_p99_us: float,
-                 tolerance: float = 0.05, max_probes: int = 12,
-                 kind: str = "all"):
+    def __init__(
+        self,
+        runner: FleetRunner,
+        target_p99_us: float,
+        tolerance: float = 0.05,
+        max_probes: int = 12,
+        kind: str = "all",
+    ):
         if target_p99_us <= 0:
             raise ValueError("target_p99_us must be positive")
         if tolerance <= 0:
@@ -541,35 +823,81 @@ class SloCapacitySearch:
         self.max_probes = max_probes
         self.kind = kind
 
-    def find(self, source: Union[str, WorkloadSpec, TenantMix, dict],
-             policy: str = "Baseline",
-             num_requests: Optional[int] = None,
-             seed: Optional[int] = None,
-             start_rate_rps: Optional[float] = None) -> CapacityResult:
+    def _trail_params(self, source, policy: str, start_rate_rps: Optional[float]) -> dict:
+        runner = self.runner
+        return {
+            "schema": FLEET_CHECKPOINT_SCHEMA,
+            "fleet": runner.spec.to_dict(),
+            "source": source.to_dict(),
+            "policy": policy,
+            "target_p99_us": self.target_p99_us,
+            "tolerance": self.tolerance,
+            "max_probes": self.max_probes,
+            "kind": self.kind,
+            "start_rate_rps": start_rate_rps,
+            "rpt": rpt_fingerprint(runner.rpt) if runner.rpt is not None else None,
+        }
+
+    def find(
+        self,
+        source: Union[str, WorkloadSpec, TenantMix, dict],
+        policy: str = "Baseline",
+        num_requests: Optional[int] = None,
+        seed: Optional[int] = None,
+        start_rate_rps: Optional[float] = None,
+    ) -> CapacityResult:
         """Run the search for one policy and return its capacity."""
         if isinstance(source, str) or isinstance(source, dict):
-            source = (TenantMix.from_dict(source)
-                      if isinstance(source, dict) and "tenants" in source
-                      else WorkloadSpec.coerce(source,
-                                               num_requests=num_requests,
-                                               seed=seed))
+            source = (
+                TenantMix.from_dict(source)
+                if isinstance(source, dict) and "tenants" in source
+                else WorkloadSpec.coerce(source, num_requests=num_requests, seed=seed)
+            )
         elif isinstance(source, WorkloadSpec):
-            source = WorkloadSpec.coerce(source, num_requests=num_requests,
-                                         seed=seed)
+            source = WorkloadSpec.coerce(source, num_requests=num_requests, seed=seed)
+        canonical = self.runner._registry.canonical_name(policy)
+        checkpoint = self.runner.checkpoint
+        trail_params = None
+        recorded: List[dict] = []
+        if checkpoint is not None:
+            trail_params = self._trail_params(source, canonical, start_rate_rps)
+            stored = checkpoint.load(PROBE_TRAIL_KIND, trail_params)
+            if stored is not None and stored.get("probes"):
+                recorded = list(stored["probes"])
+                logger.info(
+                    "capacity search (policy %s): %d probe(s) served from checkpoint",
+                    canonical,
+                    len(recorded),
+                )
         probes: List[CapacityProbe] = []
+        trail: List[dict] = []
         best_fleet: Optional[FleetResult] = None
+        replay_index = 0
         lo: Optional[float] = None  # highest rate meeting the SLO
         hi: Optional[float] = None  # lowest rate violating it
 
         rate = start_rate_rps or _current_rate_rps(source)
         for _ in range(self.max_probes):
-            fleet = self.runner.run(_with_rate(source, rate),
-                                    policies=policy).result
-            p99 = fleet.p99(self.kind)
+            fleet = None
+            if replay_index < len(recorded) and recorded[replay_index]["rate_rps"] == rate:
+                p99 = float(recorded[replay_index]["p99_us"])
+                replay_index += 1
+            else:
+                # A recorded probe that does not match the expected rate
+                # means the trail came from different inputs; stop trusting
+                # the remainder and measure live.
+                replay_index = len(recorded)
+                fleet = self.runner.run(_with_rate(source, rate), policies=policy).result
+                p99 = fleet.p99(self.kind)
             meets = p99 <= self.target_p99_us
-            probes.append(CapacityProbe(
-                rate_rps=rate, mean_interarrival_us=1e6 / rate,
-                p99_us=p99, meets_slo=meets))
+            probes.append(
+                CapacityProbe(
+                    rate_rps=rate, mean_interarrival_us=1e6 / rate, p99_us=p99, meets_slo=meets
+                )
+            )
+            trail.append({"rate_rps": rate, "p99_us": p99})
+            if fleet is not None and checkpoint is not None:
+                checkpoint.save(PROBE_TRAIL_KIND, trail_params, {"probes": trail})
             if meets:
                 if lo is None or rate > lo:
                     lo, best_fleet = rate, fleet
@@ -584,10 +912,14 @@ class SloCapacitySearch:
             else:
                 rate = rate * 2.0
 
-        converged = (lo is not None and hi is not None
-                     and hi / lo <= 1.0 + self.tolerance)
+        converged = lo is not None and hi is not None and hi / lo <= 1.0 + self.tolerance
+        if lo is not None and best_fleet is None:
+            # The winning probe was replayed from the trail; materialize its
+            # fleet result.  Its shards are checkpointed, so this folds the
+            # stored metrics back instead of re-simulating.
+            best_fleet = self.runner.run(_with_rate(source, lo), policies=policy).result
         return CapacityResult(
-            policy=self.runner._registry.canonical_name(policy),
+            policy=canonical,
             target_p99_us=self.target_p99_us,
             tolerance=self.tolerance,
             converged=converged,

@@ -52,6 +52,7 @@ class PolicyRegistration:
 def _class_factory(policy_cls):
     def factory(timing=None, rpt=None, **kwargs):
         return policy_cls(timing=timing, rpt=rpt, **kwargs)
+
     return factory
 
 
@@ -64,11 +65,16 @@ class PolicyRegistry:
         self._order = 0
 
     # -- registration ---------------------------------------------------------
-    def register(self, name: str, factory: Callable, *,
-                 aliases: Iterable[str] = (),
-                 tags: Iterable[str] = (),
-                 doc: str = "",
-                 overwrite: bool = False) -> PolicyRegistration:
+    def register(
+        self,
+        name: str,
+        factory: Callable,
+        *,
+        aliases: Iterable[str] = (),
+        tags: Iterable[str] = (),
+        doc: str = "",
+        overwrite: bool = False,
+    ) -> PolicyRegistration:
         """Register ``factory`` under ``name`` (and optional aliases).
 
         :param factory: callable accepting ``timing=`` and ``rpt=`` keyword
@@ -82,20 +88,24 @@ class PolicyRegistry:
         name = name.strip()
         keys = [self._key(name)] + [self._key(alias) for alias in aliases]
         if len(set(keys)) != len(keys):
-            raise DuplicatePolicyError(
-                f"registration of {name!r} repeats a name/alias")
+            raise DuplicatePolicyError(f"registration of {name!r} repeats a name/alias")
         if not overwrite:
             for key in keys:
                 if key in self._aliases:
                     raise DuplicatePolicyError(
                         f"policy name {key!r} already registered "
                         f"(for {self._aliases[key]!r}); pass overwrite=True "
-                        "to replace it")
+                        "to replace it"
+                    )
         previous = self._entries.get(self._key(name)) if overwrite else None
         registration = PolicyRegistration(
-            name=name, factory=factory, aliases=tuple(aliases),
-            tags=tuple(tags), doc=doc,
-            order=previous.order if previous is not None else self._order)
+            name=name,
+            factory=factory,
+            aliases=tuple(aliases),
+            tags=tuple(tags),
+            doc=doc,
+            order=previous.order if previous is not None else self._order,
+        )
         if previous is None:
             self._order += 1
         self._entries[self._key(name)] = registration
@@ -103,35 +113,48 @@ class PolicyRegistry:
             self._aliases[key] = name
         return registration
 
-    def register_policy(self, name: Optional[str] = None, *,
-                        aliases: Iterable[str] = (),
-                        tags: Iterable[str] = (),
-                        overwrite: bool = False):
+    def register_policy(
+        self,
+        name: Optional[str] = None,
+        *,
+        aliases: Iterable[str] = (),
+        tags: Iterable[str] = (),
+        overwrite: bool = False,
+    ):
         """Class decorator form of :meth:`register`.
 
         The policy name defaults to the class's ``name`` attribute; the
         class's docstring becomes the registry ``doc``.
         """
+
         def decorator(policy_cls):
             policy_name = name or getattr(policy_cls, "name", None)
             if not policy_name or policy_name == "abstract":
                 raise ValueError(
                     f"{policy_cls.__name__} needs a 'name' attribute (or an "
-                    "explicit register_policy(name=...))")
-            self.register(policy_name, _class_factory(policy_cls),
-                          aliases=aliases, tags=tags,
-                          doc=(policy_cls.__doc__ or "").strip().splitlines()[0]
-                          if policy_cls.__doc__ else "",
-                          overwrite=overwrite)
+                    "explicit register_policy(name=...))"
+                )
+            self.register(
+                policy_name,
+                _class_factory(policy_cls),
+                aliases=aliases,
+                tags=tags,
+                doc=(policy_cls.__doc__ or "").strip().splitlines()[0]
+                if policy_cls.__doc__
+                else "",
+                overwrite=overwrite,
+            )
             return policy_cls
+
         return decorator
 
     def unregister(self, name: str) -> None:
         """Remove a registration (mainly for tests)."""
         entry = self.entry(name)
         del self._entries[self._key(entry.name)]
-        self._aliases = {key: target for key, target in self._aliases.items()
-                         if target != entry.name}
+        self._aliases = {
+            key: target for key, target in self._aliases.items() if target != entry.name
+        }
 
     # -- lookup ---------------------------------------------------------------
     @staticmethod
@@ -141,8 +164,7 @@ class PolicyRegistry:
     def entry(self, name: str) -> PolicyRegistration:
         target = self._aliases.get(self._key(name))
         if target is None:
-            raise PolicyLookupError(
-                f"unknown policy {name!r}; available: {sorted(self.names())}")
+            raise PolicyLookupError(f"unknown policy {name!r}; available: {sorted(self.names())}")
         return self._entries[self._key(target)]
 
     def canonical_name(self, name: str) -> str:
@@ -167,8 +189,9 @@ class PolicyRegistry:
             seen.update(entry.tags)
         return tuple(sorted(seen))
 
-    def suite(self, names: Optional[Iterable[str]] = None, timing=None,
-              rpt=None) -> Dict[str, object]:
+    def suite(
+        self, names: Optional[Iterable[str]] = None, timing=None, rpt=None
+    ) -> Dict[str, object]:
         """Instantiate several policies sharing one timing model and RPT.
 
         Mirrors the seed's ``policy_suite``: the first policy that needs a
@@ -176,7 +199,7 @@ class PolicyRegistry:
         """
         shared_rpt = rpt
         suite: Dict[str, object] = {}
-        for name in (names if names is not None else self.names()):
+        for name in names if names is not None else self.names():
             policy = self.create(name, timing=timing, rpt=shared_rpt)
             if getattr(policy, "uses_reduced_timing", False) and shared_rpt is None:
                 shared_rpt = policy.rpt
@@ -202,17 +225,20 @@ class PolicyRegistry:
 DEFAULT_REGISTRY = PolicyRegistry()
 
 
-def register_policy(name: Optional[str] = None, *,
-                    aliases: Iterable[str] = (),
-                    tags: Iterable[str] = (),
-                    overwrite: bool = False):
+def register_policy(
+    name: Optional[str] = None,
+    *,
+    aliases: Iterable[str] = (),
+    tags: Iterable[str] = (),
+    overwrite: bool = False,
+):
     """Decorator registering a policy class in the default registry."""
-    return DEFAULT_REGISTRY.register_policy(name, aliases=aliases, tags=tags,
-                                            overwrite=overwrite)
+    return DEFAULT_REGISTRY.register_policy(name, aliases=aliases, tags=tags, overwrite=overwrite)
 
 
 def default_registry() -> PolicyRegistry:
     """The default registry, with the built-in policies loaded."""
     # Importing the module runs its @register_policy decorators.
     import repro.core.policies  # noqa: F401
+
     return DEFAULT_REGISTRY

@@ -63,8 +63,7 @@ class RunResult:
     def result(self) -> SimulationResult:
         """The single result of a one-policy run."""
         if len(self.results) != 1:
-            raise ValueError(
-                f"run holds {len(self.results)} policies; index by name")
+            raise ValueError(f"run holds {len(self.results)} policies; index by name")
         return next(iter(self.results.values()))
 
     # -- views ----------------------------------------------------------------
@@ -75,15 +74,17 @@ class RunResult:
     def normalized(self, baseline: str = "Baseline") -> Dict[str, float]:
         """Mean response times normalized to ``baseline`` (Figure 14 y-axis)."""
         return normalized_response_times(
-            {name: result.metrics for name, result in self.results.items()},
-            baseline=baseline)
+            {name: result.metrics for name, result in self.results.items()}, baseline=baseline
+        )
 
     def summary_rows(self) -> List[dict]:
         rows = []
         for name, result in self.results.items():
-            row = {"policy": name,
-                   "pe_cycles": self.condition.pe_cycles,
-                   "retention_months": self.condition.retention_months}
+            row = {
+                "policy": name,
+                "pe_cycles": self.condition.pe_cycles,
+                "retention_months": self.condition.retention_months,
+            }
             if self.workload is not None:
                 row["workload"] = self.workload.label
             row.update(result.metrics.summary())
@@ -131,10 +132,14 @@ class Simulation:
             self.policy(policy)
         return self
 
-    def workload(self, workload: Union[str, WorkloadSpec, WorkloadShape],
-                 n: Optional[int] = None, seed: Optional[int] = None,
-                 mean_interarrival_us: Optional[float] = None,
-                 footprint_fraction: Optional[float] = None) -> "Simulation":
+    def workload(
+        self,
+        workload: Union[str, WorkloadSpec, WorkloadShape],
+        n: Optional[int] = None,
+        seed: Optional[int] = None,
+        mean_interarrival_us: Optional[float] = None,
+        footprint_fraction: Optional[float] = None,
+    ) -> "Simulation":
         """Select the request stream.
 
         Accepts a Table 2 name, a :class:`~repro.sim.spec.WorkloadSpec`, a
@@ -144,9 +149,12 @@ class Simulation:
         spec-building forms.
         """
         self._source = as_workload_source(
-            workload, num_requests=n, seed=seed,
+            workload,
+            num_requests=n,
+            seed=seed,
             mean_interarrival_us=mean_interarrival_us,
-            footprint_fraction=footprint_fraction)
+            footprint_fraction=footprint_fraction,
+        )
         self._requests = None
         self._stream = None
         return self
@@ -167,7 +175,8 @@ class Simulation:
         elif kwargs:
             raise ValueError(
                 "keyword arguments only apply when naming a pattern; "
-                "configure a ready source at construction instead")
+                "configure a ready source at construction instead"
+            )
         return self.workload(pattern)
 
     def faults(self, *faults, seed: int = 0) -> "Simulation":
@@ -185,16 +194,15 @@ class Simulation:
             self._fault_plan = FaultPlan.coerce(list(faults), seed=seed)
         return self
 
-    def synthetic(self, shape: Optional[WorkloadShape] = None,
-                  n: int = 500, seed: int = 0,
-                  **shape_kwargs) -> "Simulation":
+    def synthetic(
+        self, shape: Optional[WorkloadShape] = None, n: int = 500, seed: int = 0, **shape_kwargs
+    ) -> "Simulation":
         """Use a parametric synthetic stream (``shape_kwargs`` build the shape)."""
         if shape is None:
             shape = WorkloadShape(**shape_kwargs)
         elif shape_kwargs:
             raise ValueError("pass either a shape or shape keyword arguments")
-        return self.workload(WorkloadSpec(shape=shape, num_requests=n,
-                                          seed=seed))
+        return self.workload(WorkloadSpec(shape=shape, num_requests=n, seed=seed))
 
     def requests(self, requests: Sequence[HostRequest]) -> "Simulation":
         """Use an explicit, pre-generated request stream (e.g. a real trace).
@@ -207,8 +215,7 @@ class Simulation:
         self._stream = None
         return self
 
-    def stream(self, factory: Callable[[], Iterable[HostRequest]]
-               ) -> "Simulation":
+    def stream(self, factory: Callable[[], Iterable[HostRequest]]) -> "Simulation":
         """Use a zero-argument factory yielding a fresh request stream.
 
         The fully streaming option for large traces: the factory is called
@@ -218,16 +225,21 @@ class Simulation:
         iter_msrc_csv(path), ...)``).
         """
         if not callable(factory):
-            raise TypeError("stream() expects a zero-argument callable "
-                            "returning an iterable of HostRequest")
+            raise TypeError(
+                "stream() expects a zero-argument callable returning an iterable of HostRequest"
+            )
         self._stream = factory
         self._requests = None
         self._source = None
         return self
 
-    def tenants(self, *tenants, names: Optional[Sequence[str]] = None,
-                n: Optional[int] = None,
-                seed: Optional[int] = None) -> "Simulation":
+    def tenants(
+        self,
+        *tenants,
+        names: Optional[Sequence[str]] = None,
+        n: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> "Simulation":
         """Mix several workloads as tenants of one shared device or fleet.
 
         Each argument is anything :meth:`workload` accepts (a Table 2 name,
@@ -246,17 +258,28 @@ class Simulation:
         self._stream = None
         return self
 
-    def fleet(self, devices: int, stripe_unit_pages: int = 8,
-              replication: int = 1,
-              device_conditions: Optional[Sequence] = None,
-              processes: int = 1) -> "Simulation":
+    def fleet(
+        self,
+        devices: int,
+        stripe_unit_pages: int = 8,
+        replication: int = 1,
+        device_conditions: Optional[Sequence] = None,
+        processes: int = 1,
+        shard_devices: Optional[int] = None,
+        checkpoint=None,
+    ) -> "Simulation":
         """Run against an array of ``devices`` SSDs instead of a single one.
 
         The array stripes the workload across identical copies of this
         simulation's config (see :class:`repro.sim.fleet.FleetSpec`);
         ``processes`` fans the per-device simulations over a worker pool
-        (bitwise-identical to serial).  ``run()`` then returns a
-        :class:`repro.sim.fleet.FleetRunResult`.
+        (bitwise-identical to serial).  Devices are dispatched in bounded
+        shards of ``shard_devices`` (default
+        :data:`repro.sim.fleet.DEFAULT_SHARD_DEVICES`), and ``checkpoint``
+        — a :class:`~repro.experiments.store.CheckpointStore` or a cache
+        root path — persists finished shards (and capacity-search probes)
+        so a killed run resumes bitwise-identically.  ``run()`` then
+        returns a :class:`repro.sim.fleet.FleetRunResult`.
         """
         self._fleet_params = {
             "devices": devices,
@@ -264,12 +287,19 @@ class Simulation:
             "replication": replication,
             "device_conditions": device_conditions,
             "processes": processes,
+            "shard_devices": shard_devices,
+            "checkpoint": checkpoint,
         }
         return self
 
-    def slo(self, p99_us: float, tolerance: float = 0.05,
-            max_probes: int = 12, kind: str = "all",
-            start_rate_rps: Optional[float] = None) -> "Simulation":
+    def slo(
+        self,
+        p99_us: float,
+        tolerance: float = 0.05,
+        max_probes: int = 12,
+        kind: str = "all",
+        start_rate_rps: Optional[float] = None,
+    ) -> "Simulation":
         """Search for the max arrival rate sustaining ``p99 <= p99_us``.
 
         ``run()`` then bisects the workload's arrival rate on the
@@ -287,9 +317,13 @@ class Simulation:
         }
         return self
 
-    def closed_loop(self, clients: int = 4, queue_depth: int = 1,
-                    total_requests: int = 1000,
-                    think_time_us: float = 0.0) -> "Simulation":
+    def closed_loop(
+        self,
+        clients: int = 4,
+        queue_depth: int = 1,
+        total_requests: int = 1000,
+        think_time_us: float = 0.0,
+    ) -> "Simulation":
         """Drive the device closed-loop instead of replaying arrival times.
 
         Each of ``clients`` keeps ``queue_depth`` requests outstanding and
@@ -307,9 +341,14 @@ class Simulation:
         }
         return self
 
-    def condition(self, condition: Union[Condition, tuple, None] = None, *,
-                  pec: int = 0, months: float = 0.0,
-                  fill: float = DEFAULT_FILL_FRACTION) -> "Simulation":
+    def condition(
+        self,
+        condition: Union[Condition, tuple, None] = None,
+        *,
+        pec: int = 0,
+        months: float = 0.0,
+        fill: float = DEFAULT_FILL_FRACTION,
+    ) -> "Simulation":
         """Set the preconditioned operating condition.
 
         ``fill`` is the fraction of the logical space the precondition
@@ -319,8 +358,7 @@ class Simulation:
         if condition is not None:
             self._condition = Condition.coerce(condition)
         else:
-            self._condition = Condition(pe_cycles=pec, retention_months=months,
-                                        fill_fraction=fill)
+            self._condition = Condition(pe_cycles=pec, retention_months=months, fill_fraction=fill)
         return self
 
     def rpt(self, rpt: ReadTimingParameterTable) -> "Simulation":
@@ -346,26 +384,34 @@ class Simulation:
         manifest = {
             "config": self._config.to_dict(),
             "condition": self._condition.to_dict(),
-            "policies": [policy if isinstance(policy, str)
-                         else getattr(policy, "name", repr(policy))
-                         for policy in self._policies],
+            "policies": [
+                policy if isinstance(policy, str) else getattr(policy, "name", repr(policy))
+                for policy in self._policies
+            ],
         }
         if self._source is not None:
             manifest["workload"] = source_to_dict(self._source)
         elif self._requests is not None:
             manifest["workload"] = {"explicit_requests": len(self._requests)}
         elif self._stream is not None:
-            manifest["workload"] = {
-                "stream": getattr(self._stream, "__name__", "<stream>")}
+            manifest["workload"] = {"stream": getattr(self._stream, "__name__", "<stream>")}
         if self._fault_plan:
             manifest["faults"] = self._fault_plan.to_dict()
         if self._fleet_params is not None:
-            fleet = {key: value for key, value in self._fleet_params.items()
-                     if key != "processes"}
+            # Execution knobs (worker count, checkpoint store) do not alter
+            # the simulated outcome and stay out of the manifest; the shard
+            # size appears only when explicitly set.
+            fleet = {
+                key: value
+                for key, value in self._fleet_params.items()
+                if key not in ("processes", "checkpoint")
+                and not (key == "shard_devices" and value is None)
+            }
             if fleet.get("device_conditions") is not None:
                 fleet["device_conditions"] = [
                     Condition.coerce(condition).to_dict()
-                    for condition in fleet["device_conditions"]]
+                    for condition in fleet["device_conditions"]
+                ]
             manifest["fleet"] = fleet
         if self._slo_params is not None:
             manifest["slo"] = dict(self._slo_params)
@@ -387,27 +433,34 @@ class Simulation:
             return self._requests
         if self._stream is not None:
             return self._stream()
-        raise ValueError("no workload configured; call .workload(), "
-                         ".synthetic(), .pattern(), .requests() or "
-                         ".stream() first")
+        raise ValueError(
+            "no workload configured; call .workload(), .synthetic(), "
+            ".pattern(), .requests() or .stream() first"
+        )
 
     def _fleet_spec(self):
         from repro.sim.fleet import FleetSpec
 
-        params = self._fleet_params or {"devices": 1, "stripe_unit_pages": 8,
-                                        "replication": 1,
-                                        "device_conditions": None,
-                                        "processes": 1}
+        params = self._fleet_params or {
+            "devices": 1,
+            "stripe_unit_pages": 8,
+            "replication": 1,
+            "device_conditions": None,
+            "processes": 1,
+        }
         device_conditions = params["device_conditions"]
         if device_conditions is not None:
-            device_conditions = tuple(Condition.coerce(condition)
-                                      for condition in device_conditions)
-        return FleetSpec(devices=params["devices"],
-                         stripe_unit_pages=params["stripe_unit_pages"],
-                         replication=params["replication"],
-                         config=self._config,
-                         condition=self._condition,
-                         device_conditions=device_conditions)
+            device_conditions = tuple(
+                Condition.coerce(condition) for condition in device_conditions
+            )
+        return FleetSpec(
+            devices=params["devices"],
+            stripe_unit_pages=params["stripe_unit_pages"],
+            replication=params["replication"],
+            config=self._config,
+            condition=self._condition,
+            device_conditions=device_conditions,
+        )
 
     def _fleet_source(self):
         if self._source is not None:
@@ -417,40 +470,58 @@ class Simulation:
         raise ValueError(
             "fleet runs shard a declarative source; call .workload(), "
             ".synthetic(), .pattern(), .tenants() or .requests() first "
-            "(.stream() factories cannot be re-sharded per device)")
+            "(.stream() factories cannot be re-sharded per device)"
+        )
 
     def _run_fleet(self):
         from repro.sim.fleet import FleetRunner, SloCapacitySearch
 
-        processes = (self._fleet_params or {}).get("processes", 1)
-        runner = FleetRunner(spec=self._fleet_spec(), processes=processes,
-                             rpt=self._rpt)
+        fleet_params = self._fleet_params or {}
+        runner = FleetRunner(
+            spec=self._fleet_spec(),
+            processes=fleet_params.get("processes", 1),
+            rpt=self._rpt,
+            shard_devices=fleet_params.get("shard_devices"),
+            checkpoint=fleet_params.get("checkpoint"),
+        )
         if not all(isinstance(policy, str) for policy in self._policies):
-            raise ValueError("fleet runs resolve policies per device; pass "
-                             "registry names, not policy instances")
+            raise ValueError(
+                "fleet runs resolve policies per device; pass registry "
+                "names, not policy instances"
+            )
         policy_names = list(self._policies)
         if self._slo_params is not None:
             if self._fault_plan:
-                raise ValueError("faults() cannot be combined with slo(): "
-                                 "the capacity search would bisect against "
-                                 "a transiently degraded array")
+                raise ValueError(
+                    "faults() cannot be combined with slo(): the capacity "
+                    "search would bisect against a transiently degraded array"
+                )
             if len(policy_names) != 1:
-                raise ValueError("slo() capacity search needs exactly one "
-                                 "policy")
+                raise ValueError("slo() capacity search needs exactly one policy")
             if self._requests is not None:
-                raise ValueError("slo() bisects the arrival rate; it needs "
-                                 "a workload spec or tenant mix, not an "
-                                 "explicit request list")
+                raise ValueError(
+                    "slo() bisects the arrival rate; it needs a workload "
+                    "spec or tenant mix, not an explicit request list"
+                )
             params = self._slo_params
             search = SloCapacitySearch(
-                runner, target_p99_us=params["target_p99_us"],
+                runner,
+                target_p99_us=params["target_p99_us"],
                 tolerance=params["tolerance"],
-                max_probes=params["max_probes"], kind=params["kind"])
-            return search.find(self._fleet_source(), policy=policy_names[0],
-                               start_rate_rps=params["start_rate_rps"])
-        result = runner.run(self._fleet_source(), policies=policy_names,
-                            lookahead=self._lookahead,
-                            faults=self._fault_plan)
+                max_probes=params["max_probes"],
+                kind=params["kind"],
+            )
+            return search.find(
+                self._fleet_source(),
+                policy=policy_names[0],
+                start_rate_rps=params["start_rate_rps"],
+            )
+        result = runner.run(
+            self._fleet_source(),
+            policies=policy_names,
+            lookahead=self._lookahead,
+            faults=self._fault_plan,
+        )
         result.manifest = dict(result.manifest, session=self.manifest())
         return result
 
@@ -458,39 +529,45 @@ class Simulation:
         from repro.workloads.closed_loop import ClosedLoopSource
 
         if not isinstance(self._source, WorkloadSpec):
-            raise ValueError("closed_loop() draws request contents from a "
-                             "workload spec; call .workload() or "
-                             ".synthetic() first")
+            raise ValueError(
+                "closed_loop() draws request contents from a workload "
+                "spec; call .workload() or .synthetic() first"
+            )
         spec = self._source
         shared_rpt = self._rpt or ReadTimingParameterTable.default()
         params = self._closed_loop_params
         results: Dict[str, SimulationResult] = {}
         for entry in self._policies:
             if isinstance(entry, str):
-                policy = self._registry.create(
-                    entry, timing=self._config.timing, rpt=shared_rpt)
+                policy = self._registry.create(entry, timing=self._config.timing, rpt=shared_rpt)
             else:
                 policy = entry
-            simulator = SsdSimulator(config=self._config, policy=policy,
-                                     rpt=shared_rpt)
+            simulator = SsdSimulator(config=self._config, policy=policy, rpt=shared_rpt)
             simulator.precondition(
                 pe_cycles=self._condition.pe_cycles,
                 retention_months=self._condition.retention_months,
-                fill_fraction=self._condition.fill_fraction)
+                fill_fraction=self._condition.fill_fraction,
+            )
             if self._fault_plan is not None:
                 simulator.install_faults(self._fault_plan)
             source = ClosedLoopSource(
-                spec, config=self._config,
+                spec,
+                config=self._config,
                 clients=params["clients"],
                 queue_depth=params["queue_depth"],
                 total_requests=params["total_requests"],
                 think_time_us=params["think_time_us"],
-                seed=spec.seed)
+                seed=spec.seed,
+            )
             result = simulator.run_closed_loop(source)
             results[result.policy_name] = result
-        return RunResult(config=self._config, condition=self._condition,
-                         results=results, workload=spec,
-                         manifest=self.manifest())
+        return RunResult(
+            config=self._config,
+            condition=self._condition,
+            results=results,
+            workload=spec,
+            manifest=self.manifest(),
+        )
 
     def run(self):
         """Execute the configured run and collect the results.
@@ -503,8 +580,10 @@ class Simulation:
             raise ValueError("no policy configured; call .policy(name) first")
         if self._closed_loop_params is not None:
             if self._fleet_params is not None or self._slo_params is not None:
-                raise ValueError("closed_loop() drives a single device; it "
-                                 "cannot be combined with fleet() or slo()")
+                raise ValueError(
+                    "closed_loop() drives a single device; it cannot be "
+                    "combined with fleet() or slo()"
+                )
             return self._run_closed_loop()
         if self._fleet_params is not None or self._slo_params is not None:
             return self._run_fleet()
@@ -519,16 +598,17 @@ class Simulation:
         results: Dict[str, SimulationResult] = {}
         for entry in self._policies:
             if isinstance(entry, str):
-                policy = self._registry.create(
-                    entry, timing=self._config.timing, rpt=shared_rpt)
+                policy = self._registry.create(entry, timing=self._config.timing, rpt=shared_rpt)
             else:
                 policy = entry
-            simulator = SsdSimulator(config=self._config, policy=policy,
-                                     rpt=shared_rpt, track_tenants=True)
+            simulator = SsdSimulator(
+                config=self._config, policy=policy, rpt=shared_rpt, track_tenants=True
+            )
             simulator.precondition(
                 pe_cycles=self._condition.pe_cycles,
                 retention_months=self._condition.retention_months,
-                fill_fraction=self._condition.fill_fraction)
+                fill_fraction=self._condition.fill_fraction,
+            )
             if self._fault_plan is not None:
                 simulator.install_faults(self._fault_plan)
             stream = mix.iter_requests(self._config)
@@ -537,9 +617,13 @@ class Simulation:
             else:
                 result = simulator.run(stream)
             results[result.policy_name] = result
-        return RunResult(config=self._config, condition=self._condition,
-                         results=results, workload=None,
-                         manifest=self.manifest())
+        return RunResult(
+            config=self._config,
+            condition=self._condition,
+            results=results,
+            workload=None,
+            manifest=self.manifest(),
+        )
 
     def _run_device(self) -> RunResult:
         shared_rpt = self._rpt or ReadTimingParameterTable.default()
@@ -547,28 +631,31 @@ class Simulation:
         previous_stream = None
         for entry in self._policies:
             if isinstance(entry, str):
-                policy = self._registry.create(
-                    entry, timing=self._config.timing, rpt=shared_rpt)
+                policy = self._registry.create(entry, timing=self._config.timing, rpt=shared_rpt)
             else:
                 policy = entry
-            simulator = SsdSimulator(config=self._config, policy=policy,
-                                     rpt=shared_rpt)
+            simulator = SsdSimulator(config=self._config, policy=policy, rpt=shared_rpt)
             simulator.precondition(
                 pe_cycles=self._condition.pe_cycles,
                 retention_months=self._condition.retention_months,
-                fill_fraction=self._condition.fill_fraction)
+                fill_fraction=self._condition.fill_fraction,
+            )
             if self._fault_plan is not None:
                 simulator.install_faults(self._fault_plan)
             stream = self._policy_stream()
-            if (self._stream is not None and stream is previous_stream
-                    and hasattr(stream, "__next__")):
+            if (
+                self._stream is not None
+                and stream is previous_stream
+                and hasattr(stream, "__next__")
+            ):
                 # The factory handed back the very same iterator: the first
                 # policy consumed it, so every later policy would silently
                 # simulate zero requests and win every comparison.
                 raise ValueError(
                     "stream() factory returned the same exhausted iterator "
                     "for a second policy; it must build a fresh iterable "
-                    "per call")
+                    "per call"
+                )
             previous_stream = stream
             if self._lookahead is not None:
                 result = simulator.run(stream, lookahead=self._lookahead)
@@ -580,14 +667,20 @@ class Simulation:
             # counts must agree; a mismatch means the factory shared one
             # underlying iterator (however re-wrapped) and later policies
             # saw a drained stream.
-            counts = {name: result.metrics.host_reads
-                      + result.metrics.host_writes
-                      for name, result in results.items()}
+            counts = {
+                name: result.metrics.host_reads + result.metrics.host_writes
+                for name, result in results.items()
+            }
             if len(set(counts.values())) > 1:
                 raise ValueError(
                     "stream() factory fed different request counts to the "
                     f"policies ({counts}); it must build an independent "
-                    "iterable per call, not re-wrap one shared iterator")
-        return RunResult(config=self._config, condition=self._condition,
-                         results=results, workload=self._source,
-                         manifest=self.manifest())
+                    "iterable per call, not re-wrap one shared iterator"
+                )
+        return RunResult(
+            config=self._config,
+            condition=self._condition,
+            results=results,
+            workload=self._source,
+            manifest=self.manifest(),
+        )

@@ -29,8 +29,7 @@ def canonical_workload_name(name: str) -> str:
     """Resolve a catalog workload name case-insensitively."""
     canonical = _CANONICAL_WORKLOADS.get(str(name).strip().lower())
     if canonical is None:
-        raise KeyError(f"unknown workload {name!r}; "
-                       f"available: {list(WORKLOAD_CATALOG)}")
+        raise KeyError(f"unknown workload {name!r}; available: {list(WORKLOAD_CATALOG)}")
     return canonical
 
 
@@ -64,8 +63,7 @@ class WorkloadSpec:
             raise ValueError("num_requests must be positive")
         if not 0.0 < self.footprint_fraction <= 1.0:
             raise ValueError("footprint_fraction must be in (0, 1]")
-        if (self.mean_interarrival_us is not None
-                and self.mean_interarrival_us <= 0):
+        if self.mean_interarrival_us is not None and self.mean_interarrival_us <= 0:
             raise ValueError("mean_interarrival_us must be positive")
 
     @property
@@ -84,18 +82,23 @@ class WorkloadSpec:
 
     def stream_key(self, config: SsdConfig) -> tuple:
         """Hashable identity of the generated stream (for caching)."""
-        shape_key = None if self.shape is None else tuple(
-            sorted(asdict(self.shape).items()))
-        return (self.name, shape_key, self.num_requests, self.seed,
-                self.mean_interarrival_us, self.footprint_pages(config))
+        shape_key = None if self.shape is None else tuple(sorted(asdict(self.shape).items()))
+        return (
+            self.name,
+            shape_key,
+            self.num_requests,
+            self.seed,
+            self.mean_interarrival_us,
+            self.footprint_pages(config),
+        )
 
     def build_requests(self, config: SsdConfig) -> List[HostRequest]:
         """Generate a fresh request stream for this spec (materialized)."""
         return list(self.iter_requests(config))
 
-    def iter_requests(self, config: SsdConfig,
-                      footprint_pages: Optional[int] = None
-                      ) -> Iterator[HostRequest]:
+    def iter_requests(
+        self, config: SsdConfig, footprint_pages: Optional[int] = None
+    ) -> Iterator[HostRequest]:
         """Stream the spec's requests lazily (identical draws to build).
 
         The canonical way to feed a spec into the simulator: the generator
@@ -105,21 +108,24 @@ class WorkloadSpec:
         is applied to — the fleet layer passes the *array's* logical size so
         a striped workload spans every device, not just one.
         """
-        footprint = (self.footprint_pages(config) if footprint_pages is None
-                     else int(footprint_pages * self.footprint_fraction))
+        footprint = (
+            self.footprint_pages(config)
+            if footprint_pages is None
+            else int(footprint_pages * self.footprint_fraction)
+        )
         if self.name is not None:
             return catalog_workload(
-                self.name, footprint, seed=self.seed,
+                self.name,
+                footprint,
+                seed=self.seed,
                 mean_interarrival_us=self.mean_interarrival_us,
             ).iter_requests(self.num_requests)
         shape = self.shape
         if self.mean_interarrival_us is not None:
-            shape = WorkloadShape(**{**asdict(shape),
-                                     "mean_interarrival_us":
-                                         self.mean_interarrival_us})
-        return SyntheticWorkload(shape, footprint,
-                                 seed=self.seed).iter_requests(
-                                     self.num_requests)
+            shape = WorkloadShape(
+                **{**asdict(shape), "mean_interarrival_us": self.mean_interarrival_us}
+            )
+        return SyntheticWorkload(shape, footprint, seed=self.seed).iter_requests(self.num_requests)
 
     # -- manifest round-trip --------------------------------------------------
     def to_dict(self) -> dict:
@@ -148,16 +154,13 @@ class WorkloadSpec:
         if isinstance(value, cls):
             if overrides:
                 payload = value.to_dict()
-                payload.update(
-                    {k: v for k, v in overrides.items() if v is not None})
+                payload.update({k: v for k, v in overrides.items() if v is not None})
                 return cls.from_dict(payload)
             return value
         if isinstance(value, WorkloadShape):
-            return cls(shape=value,
-                       **{k: v for k, v in overrides.items() if v is not None})
+            return cls(shape=value, **{k: v for k, v in overrides.items() if v is not None})
         if isinstance(value, str):
-            return cls(name=value,
-                       **{k: v for k, v in overrides.items() if v is not None})
+            return cls(name=value, **{k: v for k, v in overrides.items() if v is not None})
         if isinstance(value, dict):
             payload = dict(value)
             payload.update({k: v for k, v in overrides.items() if v is not None})
@@ -203,8 +206,7 @@ class Condition:
         return f"{pec} PEC / {self.retention_months:g} mo"
 
     def to_dict(self) -> dict:
-        payload = {"pe_cycles": self.pe_cycles,
-                   "retention_months": self.retention_months}
+        payload = {"pe_cycles": self.pe_cycles, "retention_months": self.retention_months}
         if self.fill_fraction != DEFAULT_FILL_FRACTION:
             payload["fill_fraction"] = self.fill_fraction
         return payload
@@ -222,7 +224,7 @@ class Condition:
             return cls.from_dict(value)
         if isinstance(value, (tuple, list)) and len(value) in (2, 3):
             fill = float(value[2]) if len(value) == 3 else DEFAULT_FILL_FRACTION
-            return cls(pe_cycles=int(value[0]),
-                       retention_months=float(value[1]),
-                       fill_fraction=fill)
+            return cls(
+                pe_cycles=int(value[0]), retention_months=float(value[1]), fill_fraction=fill
+            )
         raise TypeError(f"cannot build a Condition from {value!r}")

@@ -26,8 +26,10 @@ requests, the cache holds the :class:`HostRequest` objects themselves and
 every (condition, policy) cell replays them directly.
 
 Retry-step grids are likewise built once, not per worker: the parent
-vectorizes the slabs of every condition in the sweep and serializes them
-into the cell payloads, and workers install them into their process-shared
+vectorizes the slabs of every condition in the sweep and publishes them
+through :mod:`repro.ssd.slab_transport` (one shared-memory segment whose
+descriptor rides in every payload; inline pickled slabs when shared memory
+is unavailable), and workers install them into their process-shared
 :func:`repro.ssd.retry_grid.shared_grid` (a no-op under ``fork``, where the
 parent's grids are inherited) instead of recomputing behaviour lattices.
 """
@@ -44,9 +46,10 @@ from repro.sim.registry import default_registry
 from repro.sim.spec import Condition, WorkloadSpec
 from repro.ssd.config import SsdConfig
 from repro.ssd.controller import SimulationResult, SsdSimulator
-from repro.ssd.retry_grid import shared_grid
 from repro.ssd.metrics import normalized_response_times
 from repro.ssd.request import HostRequest
+from repro.ssd.retry_grid import shared_grid
+from repro.ssd.slab_transport import payload_slabs, publish_slabs
 from repro.workloads.catalog import WORKLOAD_CATALOG
 
 #: Default mean inter-arrival time of generated streams; matches the seed's
@@ -72,8 +75,7 @@ def _default_rpt() -> ReadTimingParameterTable:
     return _DEFAULT_RPT[0]
 
 
-def pool_map(func, payloads: Sequence, processes: int,
-             on_result=None) -> List:
+def pool_map(func, payloads: Sequence, processes: int, on_result=None) -> List:
     """``[func(p) for p in payloads]``, optionally over a process pool.
 
     The shared fan-out primitive of the sweep runner and the experiment
@@ -99,8 +101,7 @@ def pool_map(func, payloads: Sequence, processes: int,
             results.append(result)
         return results
     methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context(
-        "fork" if "fork" in methods else None)
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
     with context.Pool(count) as pool:
         if on_result is None:
             return pool.map(func, payloads)
@@ -109,6 +110,52 @@ def pool_map(func, payloads: Sequence, processes: int,
             on_result(result)
             results.append(result)
         return results
+
+
+class WorkerPool:
+    """A reusable process pool with :func:`pool_map` semantics.
+
+    :func:`pool_map` spins a pool up and tears it down per call — fine for
+    one sweep grid, wasteful for a fleet streaming dozens of shards through
+    the same workers.  ``WorkerPool`` keeps one pool alive across
+    :meth:`map` calls (created lazily on the first call that can actually
+    use it) and mirrors ``pool_map``'s serial fallbacks, so results stay
+    bitwise-identical to a serial run.  Use as a context manager; on a
+    clean exit the pool is closed and joined, on an exception it is
+    terminated.
+    """
+
+    def __init__(self, processes: int):
+        if processes < 1:
+            raise ValueError("processes must be at least 1")
+        self.processes = processes
+        self._pool = None
+
+    def map(self, func, payloads: Sequence) -> List:
+        count = min(self.processes, len(payloads))
+        if count <= 1 or multiprocessing.current_process().daemon:
+            return [func(payload) for payload in payloads]
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context("fork" if "fork" in methods else None)
+            self._pool = context.Pool(self.processes)
+        return self._pool.map(func, payloads)
+
+    def close(self, terminate: bool = False) -> None:
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        if terminate:
+            pool.terminate()
+        else:
+            pool.close()
+        pool.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(terminate=exc_type is not None)
 
 
 def _cached_stream(spec: WorkloadSpec, config: SsdConfig) -> List[HostRequest]:
@@ -123,8 +170,7 @@ def _cached_stream(spec: WorkloadSpec, config: SsdConfig) -> List[HostRequest]:
     return requests
 
 
-def _run_cell(payload: dict) -> Tuple[str, Tuple[int, float],
-                                      Dict[str, SimulationResult]]:
+def _run_cell(payload: dict) -> Tuple[str, Tuple[int, float], Dict[str, SimulationResult]]:
     """Execute one (workload, condition) cell against every policy.
 
     Pure function of its payload — the serial and parallel paths both call
@@ -134,7 +180,7 @@ def _run_cell(payload: dict) -> Tuple[str, Tuple[int, float],
     spec = WorkloadSpec.from_dict(payload["workload"])
     condition = Condition.from_dict(payload["condition"])
     rpt = payload.get("rpt") or _default_rpt()
-    slabs = payload.get("grid_slabs")
+    slabs = payload_slabs(payload)
     if slabs:
         # Install the parent-built retry-step slabs into this process's
         # shared grid instead of recomputing them per worker (a fork-start
@@ -146,8 +192,9 @@ def _run_cell(payload: dict) -> Tuple[str, Tuple[int, float],
     for name in payload["policies"]:
         policy = registry.create(name, timing=config.timing, rpt=rpt)
         simulator = SsdSimulator(config=config, policy=policy, rpt=rpt)
-        simulator.precondition(pe_cycles=condition.pe_cycles,
-                               retention_months=condition.retention_months)
+        simulator.precondition(
+            pe_cycles=condition.pe_cycles, retention_months=condition.retention_months
+        )
         result = simulator.run(stream)
         results[result.policy_name] = result
     return spec.label, condition.as_tuple(), results
@@ -161,40 +208,41 @@ def _workload_class(spec: WorkloadSpec) -> str:
     return "read-dominant" if read_dominant else "write-dominant"
 
 
-def rows_from_cells(workloads: Sequence[WorkloadSpec],
-                    conditions: Sequence[Condition],
-                    cells: Dict[tuple, Dict[str, SimulationResult]],
-                    baseline: str = "Baseline") -> List[dict]:
+def rows_from_cells(
+    workloads: Sequence[WorkloadSpec],
+    conditions: Sequence[Condition],
+    cells: Dict[tuple, Dict[str, SimulationResult]],
+    baseline: str = "Baseline",
+) -> List[dict]:
     """Tidy normalized-response-time rows (the Figure 14/15 long format)."""
     rows = []
     for spec in workloads:
         for condition in conditions:
             cell = cells[(spec.label,) + condition.as_tuple()]
             normalized = normalized_response_times(
-                {name: result.metrics for name, result in cell.items()},
-                baseline=baseline)
+                {name: result.metrics for name, result in cell.items()}, baseline=baseline
+            )
             for policy, value in normalized.items():
                 metrics = cell[policy].metrics
                 combined = metrics.latency("all")
-                rows.append({
-                    "workload": spec.label,
-                    "class": _workload_class(spec),
-                    "pe_cycles": condition.pe_cycles,
-                    "retention_months": condition.retention_months,
-                    "policy": policy,
-                    "normalized_response_time": round(value, 4),
-                    "mean_response_us": round(
-                        metrics.mean_response_time_us(), 2),
-                    "p99_response_us": round(combined.p99(), 2),
-                    "p999_response_us": round(combined.p999(), 2),
-                    "write_amplification": round(
-                        metrics.write_amplification(), 4),
-                    "mapping_cache_hit_rate": round(
-                        metrics.mapping_cache_hit_rate(), 4),
-                    "gc_invocations": metrics.gc_invocations,
-                    "translation_reads": metrics.translation_reads,
-                    "translation_writes": metrics.translation_writes,
-                })
+                rows.append(
+                    {
+                        "workload": spec.label,
+                        "class": _workload_class(spec),
+                        "pe_cycles": condition.pe_cycles,
+                        "retention_months": condition.retention_months,
+                        "policy": policy,
+                        "normalized_response_time": round(value, 4),
+                        "mean_response_us": round(metrics.mean_response_time_us(), 2),
+                        "p99_response_us": round(combined.p99(), 2),
+                        "p999_response_us": round(combined.p999(), 2),
+                        "write_amplification": round(metrics.write_amplification(), 4),
+                        "mapping_cache_hit_rate": round(metrics.mapping_cache_hit_rate(), 4),
+                        "gc_invocations": metrics.gc_invocations,
+                        "translation_reads": metrics.translation_reads,
+                        "translation_writes": metrics.translation_writes,
+                    }
+                )
     return rows
 
 
@@ -211,18 +259,20 @@ class SweepResult:
 
     def __post_init__(self) -> None:
         if not self.rows:
-            self.rows = rows_from_cells(self.workloads, self.conditions,
-                                        self.cells, baseline=self.baseline)
+            self.rows = rows_from_cells(
+                self.workloads, self.conditions, self.cells, baseline=self.baseline
+            )
 
     # -- access ---------------------------------------------------------------
-    def cell(self, workload: str, pe_cycles: int,
-             retention_months: float) -> Dict[str, SimulationResult]:
+    def cell(self, workload: str, pe_cycles: int, retention_months: float):
         return self.cells[(workload, pe_cycles, float(retention_months))]
 
     def filter_rows(self, **criteria) -> List[dict]:
-        return [row for row in self.rows
-                if all(row.get(key) == value
-                       for key, value in criteria.items())]
+        return [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
 
     def to_grid(self) -> dict:
         """Legacy nested layout: ``grid[workload][(pec, months)][policy]``."""
@@ -238,15 +288,14 @@ class SweepResult:
             return "(empty sweep)"
         rows = self.rows if max_rows is None else self.rows[:max_rows]
         columns = list(rows[0].keys())
-        widths = {column: max(len(str(column)),
-                              *(len(str(row[column])) for row in rows))
-                  for column in columns}
-        lines = ["  ".join(str(column).ljust(widths[column])
-                           for column in columns)]
+        widths = {
+            column: max(len(str(column)), *(len(str(row[column])) for row in rows))
+            for column in columns
+        }
+        lines = ["  ".join(str(column).ljust(widths[column]) for column in columns)]
         lines.append("-" * len(lines[0]))
         for row in rows:
-            lines.append("  ".join(str(row[column]).ljust(widths[column])
-                                   for column in columns))
+            lines.append("  ".join(str(row[column]).ljust(widths[column]) for column in columns))
         if max_rows is not None and len(self.rows) > max_rows:
             lines.append(f"... ({len(self.rows) - max_rows} more rows)")
         return "\n".join(lines)
@@ -265,12 +314,16 @@ class SweepRunner:
         semantics and lets the stream cache serve every condition cell.
     """
 
-    def __init__(self, config: Optional[SsdConfig] = None,
-                 processes: int = 1,
-                 rpt: Optional[ReadTimingParameterTable] = None,
-                 mean_interarrival_us: float = DEFAULT_MEAN_INTERARRIVAL_US,
-                 footprint_fraction: float = 0.8,
-                 per_cell_seeds: bool = False):
+    def __init__(
+        self,
+        config: Optional[SsdConfig] = None,
+        processes: int = 1,
+        rpt: Optional[ReadTimingParameterTable] = None,
+        mean_interarrival_us: float = DEFAULT_MEAN_INTERARRIVAL_US,
+        footprint_fraction: float = 0.8,
+        per_cell_seeds: bool = False,
+        use_shared_memory: bool = True,
+    ):
         if processes < 1:
             raise ValueError("processes must be at least 1")
         self.config = config or SsdConfig.scaled()
@@ -279,6 +332,7 @@ class SweepRunner:
         self.mean_interarrival_us = mean_interarrival_us
         self.footprint_fraction = footprint_fraction
         self.per_cell_seeds = per_cell_seeds
+        self.use_shared_memory = use_shared_memory
         self._registry = default_registry()
 
     # -- grid construction ----------------------------------------------------
@@ -288,21 +342,26 @@ class SweepRunner:
             if isinstance(workload, WorkloadSpec):
                 # An explicit spec keeps its own arrival rate and footprint;
                 # only the run() arguments the caller actually passed win.
-                specs.append(WorkloadSpec.coerce(
-                    workload, num_requests=num_requests, seed=seed))
+                specs.append(WorkloadSpec.coerce(workload, num_requests=num_requests, seed=seed))
             else:
-                specs.append(WorkloadSpec.coerce(
-                    workload, num_requests=num_requests, seed=seed,
-                    mean_interarrival_us=self.mean_interarrival_us,
-                    footprint_fraction=self.footprint_fraction))
+                specs.append(
+                    WorkloadSpec.coerce(
+                        workload,
+                        num_requests=num_requests,
+                        seed=seed,
+                        mean_interarrival_us=self.mean_interarrival_us,
+                        footprint_fraction=self.footprint_fraction,
+                    )
+                )
         return specs
 
     def _cell_seed(self, spec: WorkloadSpec, condition: Condition) -> int:
         if not self.per_cell_seeds:
             return spec.seed
-        digest = crc32(f"{spec.label}|{condition.pe_cycles}|"
-                       f"{condition.retention_months:g}".encode())
-        return (spec.seed * 1_000_003 + digest) % (2 ** 31)
+        digest = crc32(
+            f"{spec.label}|{condition.pe_cycles}|{condition.retention_months:g}".encode()
+        )
+        return (spec.seed * 1_000_003 + digest) % (2**31)
 
     def _payloads(self, specs, conditions, policies):
         config_dict = self.config.to_dict()
@@ -313,23 +372,29 @@ class SweepRunner:
                 cell_seed = self._cell_seed(spec, condition)
                 if cell_seed != spec.seed:
                     cell_spec = WorkloadSpec.coerce(spec, seed=cell_seed)
-                payloads.append({
-                    "config": config_dict,
-                    "workload": cell_spec.to_dict(),
-                    "condition": condition.to_dict(),
-                    "policies": tuple(policies),
-                    "rpt": self.rpt,
-                })
+                payloads.append(
+                    {
+                        "config": config_dict,
+                        "workload": cell_spec.to_dict(),
+                        "condition": condition.to_dict(),
+                        "policies": tuple(policies),
+                        "rpt": self.rpt,
+                    }
+                )
         return payloads
 
-    def _attach_grid_slabs(self, payloads, conditions) -> None:
+    def _attach_grid_slabs(self, payloads, conditions):
         """Precompute retry-step slabs once and ship them with each cell.
 
         Every cell reads cold data at its condition and rewritten data at
-        (P/E, 0); building those slabs in the parent and serializing them
-        into the payloads means workers install the grid instead of each
-        recomputing it (the point of sharing — one vectorized pass serves
-        the whole sweep).
+        (P/E, 0); building those slabs in the parent means workers install
+        the grid instead of each recomputing it (the point of sharing — one
+        vectorized pass serves the whole sweep).  The slabs travel through
+        shared memory when available (payloads then carry only the
+        segment's descriptor); otherwise each payload gets its own cell's
+        slabs inline, exactly the old pickle path.  Returns the published
+        :class:`~repro.ssd.slab_transport.SlabSegment` (or ``None``); the
+        caller must ``close()`` it after the map.
         """
         grid = shared_grid(self.config, self.rpt or _default_rpt())
         pairs = set()
@@ -343,20 +408,32 @@ class SweepRunner:
             # evict early slabs before the batch export reads them.
             grid.prefill([pair])
             exports[pair] = grid.export_slabs([pair])[0]
+        segment = None
+        if self.use_shared_memory:
+            segment = publish_slabs([exports[pair] for pair in sorted(exports)])
+        if segment is not None:
+            for payload in payloads:
+                payload["grid_segment"] = segment.descriptor
+            return segment
         for payload in payloads:
             cell = payload["condition"]
-            cell_pairs = [(cell["pe_cycles"], float(cell["retention_months"])),
-                          (cell["pe_cycles"], 0.0)]
-            payload["grid_slabs"] = [exports[pair]
-                                     for pair in dict.fromkeys(cell_pairs)]
+            cell_pairs = [
+                (cell["pe_cycles"], float(cell["retention_months"])),
+                (cell["pe_cycles"], 0.0),
+            ]
+            payload["grid_slabs"] = [exports[pair] for pair in dict.fromkeys(cell_pairs)]
+        return None
 
     # -- execution ------------------------------------------------------------
-    def run(self, policies: Optional[Iterable[str]] = None,
-            workloads: Iterable[Union[str, WorkloadSpec]] = (),
-            conditions: Iterable[Union[Condition, tuple]] = ((0, 0.0),),
-            num_requests: Optional[int] = None,
-            seed: Optional[int] = None,
-            baseline: str = "Baseline") -> SweepResult:
+    def run(
+        self,
+        policies: Optional[Iterable[str]] = None,
+        workloads: Iterable[Union[str, WorkloadSpec]] = (),
+        conditions: Iterable[Union[Condition, tuple]] = ((0, 0.0),),
+        num_requests: Optional[int] = None,
+        seed: Optional[int] = None,
+        baseline: str = "Baseline",
+    ) -> SweepResult:
         """Run the grid and return a :class:`SweepResult`.
 
         :param policies: registry names (defaults to every registered policy).
@@ -364,9 +441,10 @@ class SweepRunner:
         :param conditions: ``(pe_cycles, retention_months)`` pairs or
             :class:`Condition` objects.
         """
-        policy_names = tuple(self._registry.canonical_name(name)
-                             for name in (policies if policies is not None
-                                          else self._registry.names()))
+        policy_names = tuple(
+            self._registry.canonical_name(name)
+            for name in (policies if policies is not None else self._registry.names())
+        )
         specs = self._coerce_workloads(workloads, num_requests, seed)
         if not specs:
             raise ValueError("no workloads given")
@@ -374,9 +452,9 @@ class SweepRunner:
         if len(set(labels)) != len(labels):
             raise ValueError(
                 f"workload labels collide: {labels}; cells are keyed by "
-                "label, so each workload needs a distinct one")
-        condition_objs = [Condition.coerce(condition)
-                          for condition in conditions]
+                "label, so each workload needs a distinct one"
+            )
+        condition_objs = [Condition.coerce(condition) for condition in conditions]
         if not condition_objs:
             raise ValueError("no conditions given")
         if baseline not in policy_names:
@@ -384,12 +462,18 @@ class SweepRunner:
             # the first policy (its rows then read exactly 1.0).
             baseline = policy_names[0]
         payloads = self._payloads(specs, condition_objs, policy_names)
-        self._attach_grid_slabs(payloads, condition_objs)
+        segment = self._attach_grid_slabs(payloads, condition_objs)
+        try:
+            outcomes = pool_map(_run_cell, payloads, self.processes)
+        finally:
+            if segment is not None:
+                segment.close()
 
-        outcomes = pool_map(_run_cell, payloads, self.processes)
-
-        cells = {(label, pec, months): results
-                 for label, (pec, months), results in outcomes}
-        return SweepResult(workloads=specs, conditions=condition_objs,
-                           policies=list(policy_names),
-                           baseline=baseline, cells=cells)
+        cells = {(label, pec, months): results for label, (pec, months), results in outcomes}
+        return SweepResult(
+            workloads=specs,
+            conditions=condition_objs,
+            policies=list(policy_names),
+            baseline=baseline,
+            cells=cells,
+        )

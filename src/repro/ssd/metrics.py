@@ -214,6 +214,39 @@ class LatencyHistogram:
             "max_us": self.max_us if self.count else None,
         }
 
+    # -- exact checkpoint round-trip ------------------------------------------
+    def to_state(self) -> dict:
+        """Bitwise-exact, JSON-able state (the checkpoint serialization).
+
+        Unlike :meth:`to_dict` (a sorted reporting snapshot), the state
+        preserves the *insertion order* of the bucket counts and the exact
+        compensated-sum pair, so ``from_state(to_state(h))`` merges bitwise
+        identically to ``h`` itself — float summation is not associative,
+        and :meth:`merge` folds ``_counts`` in insertion order.
+        """
+        return {
+            "counts": [[index, count] for index, count in self._counts.items()],
+            "count": self.count,
+            "sum": self._sum,
+            "compensation": self._compensation,
+            "min_us": self.min_us if self.count else None,
+            "max_us": self.max_us if self.count else None,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LatencyHistogram":
+        """Rebuild a histogram bitwise-identical to ``to_state``'s source."""
+        histogram = cls()
+        histogram._counts = {int(index): int(count)
+                             for index, count in state["counts"]}
+        histogram.count = int(state["count"])
+        histogram._sum = float(state["sum"])
+        histogram._compensation = float(state["compensation"])
+        if histogram.count:
+            histogram.min_us = float(state["min_us"])
+            histogram.max_us = float(state["max_us"])
+        return histogram
+
     def __eq__(self, other) -> bool:
         if not isinstance(other, LatencyHistogram):
             return NotImplemented
@@ -414,6 +447,58 @@ class SimulationMetrics:
             self._write_samples.extend(other._write_samples)
             self._retry_step_samples.extend(other._retry_step_samples)
         return self
+
+    # -- exact checkpoint round-trip ------------------------------------------
+    def to_state(self) -> dict:
+        """Bitwise-exact, JSON-able state (the fleet checkpoint payload).
+
+        Every dict is serialized in *insertion order* (``die_utilization``
+        sums ``die_busy_us`` values and :meth:`merge` folds dicts in
+        iteration order, so restoring them sorted would change float
+        summation order).  Raw debug samples are deliberately not carried:
+        checkpointing is a production-path feature and fleet workers never
+        record samples.
+        """
+        if self.record_samples:
+            raise ValueError(
+                "collectors with record_samples=True hold unbounded raw "
+                "sample lists; only default (fixed-memory) collectors are "
+                "checkpointable")
+        return {
+            "read_latency": self.read_latency.to_state(),
+            "write_latency": self.write_latency.to_state(),
+            "tenant_latency": [[tenant, histogram.to_state()]
+                               for tenant, histogram
+                               in self.tenant_latency.items()],
+            "retry_step_counts": [[steps, count] for steps, count
+                                  in self.retry_step_counts.items()],
+            "die_busy_us": [[list(die_key), busy] for die_key, busy
+                            in self.die_busy_us.items()],
+            "counters": {name: getattr(self, name)
+                         for name in self.COUNTER_FIELDS},
+            "simulated_time_us": self.simulated_time_us,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SimulationMetrics":
+        """Rebuild a collector bitwise-identical to ``to_state``'s source."""
+        metrics = cls()
+        metrics.read_latency = LatencyHistogram.from_state(
+            state["read_latency"])
+        metrics.write_latency = LatencyHistogram.from_state(
+            state["write_latency"])
+        metrics.tenant_latency = {
+            int(tenant): LatencyHistogram.from_state(histogram)
+            for tenant, histogram in state["tenant_latency"]}
+        metrics.retry_step_counts = {int(steps): int(count)
+                                     for steps, count
+                                     in state["retry_step_counts"]}
+        metrics.die_busy_us = {tuple(die_key): float(busy)
+                               for die_key, busy in state["die_busy_us"]}
+        for name in cls.COUNTER_FIELDS:
+            setattr(metrics, name, int(state["counters"][name]))
+        metrics.simulated_time_us = float(state["simulated_time_us"])
+        return metrics
 
     # -- sample compatibility (debug mode only) -------------------------------
     def _samples(self, name: str, samples: List) -> List:

@@ -201,9 +201,10 @@ class TestFleetRunner:
         # Striping splits some requests, so sub-request totals can exceed
         # the stream length but every request must land somewhere.
         assert merged.host_reads + merged.host_writes >= 100
-        for device_result in result.result.device_results:
-            metrics = device_result.metrics
-            assert metrics.host_reads + metrics.host_writes > 0
+        rows = result.result.device_rows()
+        assert [row["device"] for row in rows] == [0, 1]
+        for row in rows:
+            assert row["host_reads"] + row["host_writes"] > 0
 
     def test_tenant_tails_and_device_rows(self):
         mix = TenantMix(tenants=(_spec(60, seed=1), _spec(60, seed=2)),
@@ -223,11 +224,10 @@ class TestFleetRunner:
             devices=2, config=CONFIG,
             device_conditions=(Condition(0, 0.0), Condition(3000, 12.0)))
         result = FleetRunner(fleet_spec).run(_spec(), policies="Baseline")
-        fresh, aged = result.result.device_results
-        assert fresh.preconditioned_pe_cycles == 0
-        assert aged.preconditioned_pe_cycles == 3000
-        assert (aged.metrics.mean_response_time_us()
-                > fresh.metrics.mean_response_time_us())
+        assert fleet_spec.device_condition(0).pe_cycles == 0
+        assert fleet_spec.device_condition(1).pe_cycles == 3000
+        fresh, aged = result.result.device_rows()
+        assert aged["mean_response_us"] > fresh["mean_response_us"]
 
     def test_explicit_request_list_source(self):
         requests = [HostRequest(arrival_us=i * 500.0, kind=RequestKind.READ,
